@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 4: per-benchmark performance degradation of the off-line,
+ * on-line and profile-driven (L+F) reconfiguration methods, relative
+ * to the MCD baseline.
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcd;
+    using namespace mcd::bench;
+    exp::Runner runner(parseArgs(argc, argv));
+    auto rows = headlineSweep(runner);
+    printHeadlineTable(rows, "Figure 4: performance degradation", "%",
+                       &Metrics::slowdownPct);
+    return 0;
+}

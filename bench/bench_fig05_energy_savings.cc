@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 5: per-benchmark energy savings of the off-line, on-line
+ * and profile-driven (L+F) reconfiguration methods, relative to the
+ * MCD baseline.
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcd;
+    using namespace mcd::bench;
+    exp::Runner runner(parseArgs(argc, argv));
+    auto rows = headlineSweep(runner);
+    printHeadlineTable(rows, "Figure 5: energy savings", "%",
+                       &Metrics::energySavingsPct);
+    return 0;
+}

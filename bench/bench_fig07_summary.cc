@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 7: minimum, maximum and average slowdown, energy savings
+ * and energy x delay improvement for the global-DVS, on-line,
+ * off-line and profile-driven (L+F) methods.
+ *
+ * "Global" runs the chip at the single frequency that matches the
+ * off-line algorithm's run time (Section 4.1).
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcd;
+    using namespace mcd::bench;
+    exp::Runner runner(parseArgs(argc, argv));
+
+    struct Method
+    {
+        const char *name;
+        Summary slow, save, ed;
+    };
+    Method methods[4] = {
+        {"global", {}, {}, {}},
+        {"on-line", {}, {}, {}},
+        {"off-line", {}, {}, {}},
+        {"L+F", {}, {}, {}},
+    };
+
+    for (const auto &bench : workload::suiteNames()) {
+        Metrics ms[4];
+        ms[0] = runner.global(bench).metrics;
+        ms[1] = runner.online(bench, HEADLINE_AGGR).metrics;
+        ms[2] = runner.offline(bench, HEADLINE_D).metrics;
+        ms[3] = runner.profile(bench, core::ContextMode::LF,
+                               HEADLINE_D)
+                    .metrics;
+        for (int i = 0; i < 4; ++i) {
+            methods[i].slow.add(ms[i].slowdownPct);
+            methods[i].save.add(ms[i].energySavingsPct);
+            methods[i].ed.add(ms[i].energyDelayImprovementPct);
+        }
+    }
+
+    TextTable t;
+    t.header({"method", "slow min", "slow avg", "slow max",
+              "save min", "save avg", "save max", "exd min",
+              "exd avg", "exd max"});
+    for (const auto &m : methods) {
+        t.row({m.name, TextTable::num(m.slow.min()),
+               TextTable::num(m.slow.mean()),
+               TextTable::num(m.slow.max()),
+               TextTable::num(m.save.min()),
+               TextTable::num(m.save.mean()),
+               TextTable::num(m.save.max()),
+               TextTable::num(m.ed.min()), TextTable::num(m.ed.mean()),
+               TextTable::num(m.ed.max())});
+    }
+    std::printf("Figure 7: min/avg/max slowdown, energy savings and "
+                "energy-delay improvement (%%)\n");
+    std::ostringstream os;
+    t.print(os);
+    std::fputs(os.str().c_str(), stdout);
+
+    double adv_off = methods[2].save.mean() / methods[0].save.mean();
+    double adv_lf = methods[3].save.mean() / methods[0].save.mean();
+    double adv_onl = methods[1].save.mean() / methods[0].save.mean();
+    std::printf("\nenergy-savings advantage over global: off-line "
+                "%.0f%%, L+F %.0f%%, on-line %.0f%% higher\n",
+                (adv_off - 1.0) * 100.0, (adv_lf - 1.0) * 100.0,
+                (adv_onl - 1.0) * 100.0);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 8: sensitivity of performance degradation to the definition
+ * of calling context (Section 4.2), for the applications that show
+ * variation: the six context modes on the benchmarks the paper
+ * highlights (mpeg2 decode's unseen reference paths, epic encode's
+ * per-call-site behaviour, loop effects in adpcm/gsm/applu/art).
+ */
+
+#include "common.hh"
+
+namespace
+{
+
+const char *const interesting[] = {
+    "mpeg2_decode", "epic_encode", "mpeg2_encode", "adpcm_decode",
+    "adpcm_encode", "gsm_decode", "applu", "art",
+};
+
+const mcd::core::ContextMode modes[] = {
+    mcd::core::ContextMode::LFCP, mcd::core::ContextMode::LFP,
+    mcd::core::ContextMode::FCP,  mcd::core::ContextMode::FP,
+    mcd::core::ContextMode::LF,   mcd::core::ContextMode::F,
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcd;
+    using namespace mcd::bench;
+    exp::Runner runner(parseArgs(argc, argv));
+
+    TextTable t;
+    std::vector<std::string> head = {"benchmark"};
+    for (auto m : modes)
+        head.push_back(core::contextModeName(m));
+    t.header(head);
+    for (const char *bench : interesting) {
+        std::vector<std::string> row = {bench};
+        for (auto m : modes)
+            row.push_back(TextTable::num(
+                runner.profile(bench, m, HEADLINE_D)
+                    .metrics.slowdownPct));
+        t.row(row);
+    }
+    std::printf("Figure 8: performance degradation (%%) by context "
+                "definition\n");
+    std::ostringstream os;
+    t.print(os);
+    std::fputs(os.str().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 9: sensitivity of energy savings to the definition of
+ * calling context (Section 4.2), companion to Figure 8.
+ */
+
+#include "common.hh"
+
+namespace
+{
+
+const char *const interesting[] = {
+    "mpeg2_decode", "epic_encode", "mpeg2_encode", "adpcm_decode",
+    "adpcm_encode", "gsm_decode", "applu", "art",
+};
+
+const mcd::core::ContextMode modes[] = {
+    mcd::core::ContextMode::LFCP, mcd::core::ContextMode::LFP,
+    mcd::core::ContextMode::FCP,  mcd::core::ContextMode::FP,
+    mcd::core::ContextMode::LF,   mcd::core::ContextMode::F,
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcd;
+    using namespace mcd::bench;
+    exp::Runner runner(parseArgs(argc, argv));
+
+    TextTable t;
+    std::vector<std::string> head = {"benchmark"};
+    for (auto m : modes)
+        head.push_back(core::contextModeName(m));
+    t.header(head);
+    for (const char *bench : interesting) {
+        std::vector<std::string> row = {bench};
+        for (auto m : modes)
+            row.push_back(TextTable::num(
+                runner.profile(bench, m, HEADLINE_D)
+                    .metrics.energySavingsPct));
+        t.row(row);
+    }
+    std::printf("Figure 9: energy savings (%%) by context definition\n");
+    std::ostringstream os;
+    t.print(os);
+    std::fputs(os.str().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 11: suite-average energy x delay improvement as a function
+ * of achieved slowdown (companion to Figure 10).  The paper's key
+ * observation: the on-line algorithm's curve flattens beyond ~8%
+ * slowdown while off-line and L+F remain near-linear.
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcd;
+    using namespace mcd::bench;
+    exp::Runner runner(parseArgs(argc, argv));
+
+    const double d_points[] = {2.0, 4.0, 6.0, 10.0, 14.0, 20.0};
+    const double aggr_points[] = {0.25, 0.5, 1.0, 2.0, 3.5, 6.0};
+
+    TextTable t;
+    t.header({"series", "point", "avg slowdown %", "avg ExD gain %"});
+    for (double d : d_points) {
+        Summary slow, ed;
+        for (const auto &bench : workload::suiteNames()) {
+            auto m = runner.offline(bench, d).metrics;
+            slow.add(m.slowdownPct);
+            ed.add(m.energyDelayImprovementPct);
+        }
+        t.row({"off-line", strprintf("d=%.0f", d),
+               TextTable::num(slow.mean()), TextTable::num(ed.mean())});
+    }
+    t.separator();
+    for (double d : d_points) {
+        Summary slow, ed;
+        for (const auto &bench : workload::suiteNames()) {
+            auto m = runner.profile(bench, core::ContextMode::LF, d)
+                         .metrics;
+            slow.add(m.slowdownPct);
+            ed.add(m.energyDelayImprovementPct);
+        }
+        t.row({"L+F", strprintf("d=%.0f", d),
+               TextTable::num(slow.mean()), TextTable::num(ed.mean())});
+    }
+    t.separator();
+    for (double a : aggr_points) {
+        Summary slow, ed;
+        for (const auto &bench : workload::suiteNames()) {
+            auto m = runner.online(bench, a).metrics;
+            slow.add(m.slowdownPct);
+            ed.add(m.energyDelayImprovementPct);
+        }
+        t.row({"on-line", strprintf("aggr=%.2f", a),
+               TextTable::num(slow.mean()), TextTable::num(ed.mean())});
+    }
+    std::printf("Figure 11: energy-delay improvement vs. achieved "
+                "slowdown (suite averages)\n");
+    std::ostringstream os;
+    t.print(os);
+    std::fputs(os.str().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 12: number of static reconfiguration and instrumentation
+ * points, and run-time overhead, of the six context definitions,
+ * averaged across the suite and normalized to L+F+C+P.
+ *
+ * Expected shape (paper): L+F and F have no tracking instrumentation
+ * (every point is a reconfiguration point) and essentially zero
+ * run-time overhead; L+F+C+P is the most expensive.
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcd;
+    using namespace mcd::bench;
+    exp::Runner runner(parseArgs(argc, argv));
+
+    const core::ContextMode modes[] = {
+        core::ContextMode::LFCP, core::ContextMode::LFP,
+        core::ContextMode::FCP,  core::ContextMode::FP,
+        core::ContextMode::LF,   core::ContextMode::F,
+    };
+
+    struct Agg
+    {
+        Summary reconf, instr, overhead;
+    };
+    Agg agg[6];
+    for (const auto &bench : workload::suiteNames()) {
+        for (int i = 0; i < 6; ++i) {
+            auto o = runner.profile(bench, modes[i], HEADLINE_D);
+            agg[i].reconf.add(o.staticReconfigPoints);
+            agg[i].instr.add(o.staticInstrPoints);
+            agg[i].overhead.add(
+                o.feCycles > 0.0
+                    ? o.overheadCycles / o.feCycles * 100.0
+                    : 0.0);
+        }
+    }
+
+    double base_reconf = agg[0].reconf.mean();
+    double base_instr = agg[0].instr.mean();
+    double base_over = agg[0].overhead.mean();
+
+    TextTable t;
+    t.header({"mode", "st reconf (avg)", "st instr (avg)",
+              "overhead % (avg)", "reconf norm", "instr norm",
+              "overhead norm"});
+    for (int i = 0; i < 6; ++i) {
+        t.row({core::contextModeName(modes[i]),
+               TextTable::num(agg[i].reconf.mean(), 1),
+               TextTable::num(agg[i].instr.mean(), 1),
+               TextTable::num(agg[i].overhead.mean(), 3),
+               TextTable::num(base_reconf > 0
+                                  ? agg[i].reconf.mean() / base_reconf
+                                  : 0.0,
+                              2),
+               TextTable::num(base_instr > 0
+                                  ? agg[i].instr.mean() / base_instr
+                                  : 0.0,
+                              2),
+               TextTable::num(base_over > 0
+                                  ? agg[i].overhead.mean() / base_over
+                                  : 0.0,
+                              2)});
+    }
+    std::printf("Figure 12: static points and run-time overhead by "
+                "context mode (suite averages, normalized to "
+                "L+F+C+P)\n");
+    std::ostringstream os;
+    t.print(os);
+    std::fputs(os.str().c_str(), stdout);
+    return 0;
+}

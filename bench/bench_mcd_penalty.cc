@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Section 4.1 side experiment: the inherent performance and energy
+ * penalty of the MCD processor relative to its globally-clocked
+ * counterpart at equal (maximum) frequency.  The paper reports a
+ * mean performance penalty of ~1.3% (max 3.6%) and energy penalty of
+ * ~0.8% (max 2.1%); our substrate is more latency-sensitive (see
+ * EXPERIMENTS.md) but the penalty must stay small and positive.
+ */
+
+#include "common.hh"
+#include "sim/processor.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcd;
+    using namespace mcd::bench;
+    exp::ExpConfig cfg = parseArgs(argc, argv);
+
+    TextTable t;
+    t.header({"benchmark", "perf penalty %", "energy penalty %"});
+    Summary perf, energy;
+    for (const auto &bench : workload::suiteNames()) {
+        workload::Benchmark bm = workload::makeBenchmark(bench);
+        sim::Processor mcd_proc(cfg.sim, cfg.power, bm.program,
+                                bm.ref);
+        sim::RunResult mcd_run =
+            mcd_proc.run(cfg.productionWindow);
+        sim::SimConfig sc_cfg = cfg.sim;
+        sc_cfg.singleClock = true;
+        sim::Processor sc_proc(sc_cfg, cfg.power, bm.program, bm.ref);
+        sim::RunResult sc_run = sc_proc.run(cfg.productionWindow);
+
+        double p = (static_cast<double>(mcd_run.timePs) -
+                    static_cast<double>(sc_run.timePs)) /
+                   static_cast<double>(sc_run.timePs) * 100.0;
+        double e = (mcd_run.chipEnergyNj - sc_run.chipEnergyNj) /
+                   sc_run.chipEnergyNj * 100.0;
+        perf.add(p);
+        energy.add(e);
+        t.row({bench, TextTable::num(p), TextTable::num(e)});
+    }
+    t.separator();
+    t.row({"average", TextTable::num(perf.mean()),
+           TextTable::num(energy.mean())});
+    t.row({"max", TextTable::num(perf.max()),
+           TextTable::num(energy.max())});
+    std::printf("MCD inherent penalty vs. single-clock processor "
+                "(paper: 1.3%% mean / 3.6%% max perf, 0.8%% mean "
+                "energy)\n");
+    std::ostringstream os;
+    t.print(os);
+    std::fputs(os.str().c_str(), stdout);
+    return 0;
+}

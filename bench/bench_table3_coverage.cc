@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table 3: number of long-running ("reconfiguration") nodes and
+ * total nodes in the L+F+C+P call tree when profiling with the
+ * training and reference input sets, the counts common to both, and
+ * the coverage fractions.
+ *
+ * Expected shapes (paper): most benchmarks have coverage 1.0; mpeg2
+ * decode ~0.6 (reference-only code paths), vpr ~0.1 (training
+ * exercises placement, reference routing), swim <1 with all training
+ * nodes also present in the reference tree.
+ */
+
+#include <set>
+
+#include "common.hh"
+#include "core/profiler.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcd;
+    using namespace mcd::bench;
+    exp::ExpConfig cfg = parseArgs(argc, argv);
+
+    TextTable t;
+    t.header({"benchmark", "train LR", "train all", "ref LR",
+              "ref all", "common LR", "common all", "cov LR",
+              "cov all"});
+
+    for (const auto &bench : workload::suiteNames()) {
+        workload::Benchmark bm = workload::makeBenchmark(bench);
+        core::ProfileConfig pcfg;
+        pcfg.maxInstrs = cfg.profileMaxInstrs;
+        core::CallTree train = core::profileProgram(
+            bm.program, bm.train, core::ContextMode::LFCP, pcfg);
+        core::CallTree ref = core::profileProgram(
+            bm.program, bm.ref, core::ContextMode::LFCP, pcfg);
+
+        auto signatures = [&](const core::CallTree &tree, bool lr) {
+            std::set<std::string> sigs;
+            for (auto id : tree.nodeIds())
+                if (!lr || tree.node(id).longRunning)
+                    sigs.insert(tree.signature(id, bm.program));
+            return sigs;
+        };
+        auto train_all = signatures(train, false);
+        auto train_lr = signatures(train, true);
+        auto ref_all = signatures(ref, false);
+        auto ref_lr = signatures(ref, true);
+
+        auto common = [](const std::set<std::string> &a,
+                         const std::set<std::string> &b) {
+            std::size_t n = 0;
+            for (const auto &s : a)
+                n += b.count(s);
+            return n;
+        };
+        std::size_t common_all = common(train_all, ref_all);
+        std::size_t common_lr = common(train_lr, ref_lr);
+
+        t.row({bench, std::to_string(train_lr.size()),
+               std::to_string(train_all.size()),
+               std::to_string(ref_lr.size()),
+               std::to_string(ref_all.size()),
+               std::to_string(common_lr),
+               std::to_string(common_all),
+               ref_lr.empty()
+                   ? "-"
+                   : TextTable::num(static_cast<double>(common_lr) /
+                                        ref_lr.size(),
+                                    2),
+               ref_all.empty()
+                   ? "-"
+                   : TextTable::num(static_cast<double>(common_all) /
+                                        ref_all.size(),
+                                    2)});
+    }
+    std::printf("Table 3: call-tree nodes, training vs. reference "
+                "(L+F+C+P)\n");
+    std::ostringstream os;
+    t.print(os);
+    std::fputs(os.str().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table 4: static and dynamic reconfiguration/instrumentation point
+ * counts and the estimated run-time overhead of the injected
+ * instructions, for the most aggressive context definition
+ * (L+F+C+P).  Also prints the lookup-table sizes of Section 3.4
+ * (worst case in the paper: ~13 KB).
+ */
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcd;
+    using namespace mcd::bench;
+    exp::Runner runner(parseArgs(argc, argv));
+
+    TextTable t;
+    t.header({"benchmark", "st reconf", "st instr", "dyn reconf",
+              "dyn instr", "overhead %", "tables KB"});
+    for (const auto &bench : workload::suiteNames()) {
+        auto o = runner.profile(bench, core::ContextMode::LFCP,
+                                HEADLINE_D);
+        double overhead_pct =
+            o.feCycles > 0.0
+                ? o.overheadCycles / o.feCycles * 100.0
+                : 0.0;
+        t.row({bench, TextTable::num(o.staticReconfigPoints, 0),
+               TextTable::num(o.staticInstrPoints, 0),
+               TextTable::num(o.dynReconfigPoints, 0),
+               TextTable::num(o.dynInstrPoints, 0),
+               TextTable::num(overhead_pct, 2),
+               TextTable::num(o.tableBytes / 1024.0, 2)});
+    }
+    std::printf("Table 4: static/dynamic reconfiguration and "
+                "instrumentation points, run-time overhead "
+                "(L+F+C+P)\n");
+    std::ostringstream os;
+    t.print(os);
+    std::fputs(os.str().c_str(), stdout);
+    return 0;
+}

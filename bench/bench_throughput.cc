@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the infrastructure itself:
+ * workload stream generation, cycle-level simulation, call-tree
+ * profiling and shaker analysis throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/profiler.hh"
+#include "core/shaker.hh"
+#include "sim/processor.hh"
+#include "workload/stream.hh"
+#include "workload/suite.hh"
+
+using namespace mcd;
+
+namespace
+{
+
+void
+BM_StreamGeneration(benchmark::State &state)
+{
+    workload::Benchmark bm = workload::makeBenchmark("gsm_decode");
+    for (auto _ : state) {
+        workload::Stream s(bm.program, bm.train);
+        workload::StreamItem item;
+        std::uint64_t n = 0;
+        while (n < 50'000 && s.next(item))
+            n += item.kind == workload::StreamItem::Kind::Instr;
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 50'000);
+}
+BENCHMARK(BM_StreamGeneration)->Unit(benchmark::kMillisecond);
+
+void
+BM_CycleSimulation(benchmark::State &state)
+{
+    workload::Benchmark bm = workload::makeBenchmark("gsm_decode");
+    sim::SimConfig scfg;
+    power::PowerConfig pcfg;
+    for (auto _ : state) {
+        sim::Processor proc(scfg, pcfg, bm.program, bm.train);
+        auto r = proc.run(30'000);
+        benchmark::DoNotOptimize(r.timePs);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 30'000);
+}
+BENCHMARK(BM_CycleSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_Profiling(benchmark::State &state)
+{
+    workload::Benchmark bm = workload::makeBenchmark("gzip");
+    for (auto _ : state) {
+        core::ProfileConfig cfg;
+        cfg.maxInstrs = 100'000;
+        auto tree = core::profileProgram(bm.program, bm.train,
+                                         core::ContextMode::LFCP, cfg);
+        benchmark::DoNotOptimize(tree.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_Profiling)->Unit(benchmark::kMillisecond);
+
+void
+BM_ShakerAnalysis(benchmark::State &state)
+{
+    // Build a realistic trace segment once, then time the shaker.
+    workload::Benchmark bm = workload::makeBenchmark("gsm_decode");
+    sim::SimConfig scfg;
+    power::PowerConfig pcfg;
+    struct Collect : sim::TraceSink
+    {
+        std::vector<sim::InstrTiming> items;
+        void onInstr(const sim::InstrTiming &t) override
+        {
+            items.push_back(t);
+        }
+    } collect;
+    sim::Processor proc(scfg, pcfg, bm.program, bm.train);
+    proc.setTraceSink(&collect);
+    proc.run(10'000);
+
+    core::ShakerConfig cfg;
+    core::SegmentAnalyzer analyzer(cfg);
+    for (auto _ : state) {
+        core::NodeHistograms out;
+        analyzer.analyze(collect.items, out);
+        benchmark::DoNotOptimize(out.spanPs);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(collect.items.size()));
+}
+BENCHMARK(BM_ShakerAnalysis)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

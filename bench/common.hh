@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared scaffolding for the benchmark binaries that regenerate the
+ * paper's tables and figures.
+ *
+ * Every binary accepts:
+ *   --window N     production window in instructions (default 150000)
+ *   --no-cache     ignore and do not write the shared result cache
+ *   --cache FILE   result cache path (default ./mcd_bench_cache.csv,
+ *                  or $MCD_BENCH_CACHE)
+ */
+
+#ifndef MCD_BENCH_COMMON_HH
+#define MCD_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+#include "workload/suite.hh"
+
+namespace mcd::bench
+{
+
+/** Slowdown threshold used for the headline figures (4-7). */
+constexpr double HEADLINE_D = 10.0;
+/** On-line aggressiveness used for the headline figures. */
+constexpr double HEADLINE_AGGR = 1.0;
+
+inline exp::ExpConfig
+parseArgs(int argc, char **argv)
+{
+    exp::ExpConfig cfg;
+    const char *env = std::getenv("MCD_BENCH_CACHE");
+    cfg.cacheFile = env ? env : "mcd_bench_cache.csv";
+    cfg.d = HEADLINE_D;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--no-cache")) {
+            cfg.cacheFile.clear();
+        } else if (!std::strcmp(argv[i], "--cache") && i + 1 < argc) {
+            cfg.cacheFile = argv[++i];
+        } else if (!std::strcmp(argv[i], "--window") && i + 1 < argc) {
+            cfg.productionWindow =
+                std::strtoull(argv[++i], nullptr, 10);
+            cfg.analysisWindow = cfg.productionWindow;
+        }
+    }
+    return cfg;
+}
+
+/** One benchmark's headline metrics under the three main policies. */
+struct HeadlineRow
+{
+    std::string bench;
+    Metrics offline;
+    Metrics online;
+    Metrics profile;
+};
+
+/**
+ * The shared headline sweep behind Figures 4, 5 and 6: off-line,
+ * on-line and profile-driven L+F on every benchmark (results are
+ * memoized in the cache, so the three binaries compute it once).
+ */
+inline std::vector<HeadlineRow>
+headlineSweep(exp::Runner &runner)
+{
+    std::vector<HeadlineRow> rows;
+    for (const auto &bench : workload::suiteNames()) {
+        HeadlineRow row;
+        row.bench = bench;
+        row.offline = runner.offline(bench, HEADLINE_D).metrics;
+        row.online = runner.online(bench, HEADLINE_AGGR).metrics;
+        row.profile =
+            runner.profile(bench, core::ContextMode::LF, HEADLINE_D)
+                .metrics;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+/** Print one metric of the headline sweep as a paper-style table. */
+inline void
+printHeadlineTable(const std::vector<HeadlineRow> &rows,
+                   const char *title, const char *unit,
+                   double Metrics::*field)
+{
+    TextTable t;
+    t.header({"benchmark", "off-line", "on-line", "profile L+F"});
+    Summary s_off, s_onl, s_prof;
+    for (const auto &r : rows) {
+        t.row({r.bench, TextTable::num(r.offline.*field),
+               TextTable::num(r.online.*field),
+               TextTable::num(r.profile.*field)});
+        s_off.add(r.offline.*field);
+        s_onl.add(r.online.*field);
+        s_prof.add(r.profile.*field);
+    }
+    t.separator();
+    t.row({"average", TextTable::num(s_off.mean()),
+           TextTable::num(s_onl.mean()), TextTable::num(s_prof.mean())});
+    std::printf("%s (%s, relative to the MCD baseline)\n", title, unit);
+    std::ostringstream os;
+    t.print(os);
+    std::fputs(os.str().c_str(), stdout);
+}
+
+} // namespace mcd::bench
+
+#endif // MCD_BENCH_COMMON_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Domain scenario 1: a MediaBench-style codec (gsm decode) compared
+ * across all four control strategies — the workloads the paper's
+ * introduction motivates (rate-based multimedia kernels with
+ * per-frame phase structure).
+ */
+
+#include <cstdio>
+
+#include "control/offline.hh"
+#include "control/online.hh"
+#include "core/pipeline.hh"
+#include "sim/processor.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+#include "workload/suite.hh"
+
+#include <sstream>
+
+using namespace mcd;
+
+int
+main()
+{
+    const std::uint64_t window = 150'000;
+    workload::Benchmark bm = workload::makeBenchmark("gsm_decode");
+    sim::SimConfig scfg;
+    scfg.rampNsPerMhz = 2.2;
+    power::PowerConfig pcfg;
+
+    // MCD baseline.
+    sim::Processor base(scfg, pcfg, bm.program, bm.ref);
+    sim::RunResult base_run = base.run(window);
+
+    TextTable t;
+    t.header({"method", "time us", "energy uJ", "slowdown %",
+              "savings %", "ExD gain %"});
+    auto report = [&](const char *name, const sim::RunResult &r) {
+        Metrics m = computeMetrics(static_cast<double>(r.timePs),
+                                   r.chipEnergyNj,
+                                   static_cast<double>(base_run.timePs),
+                                   base_run.chipEnergyNj);
+        t.row({name,
+               TextTable::num(static_cast<double>(r.timePs) / 1e6, 1),
+               TextTable::num(r.chipEnergyNj / 1000.0, 1),
+               TextTable::num(m.slowdownPct),
+               TextTable::num(m.energySavingsPct),
+               TextTable::num(m.energyDelayImprovementPct)});
+    };
+    report("MCD baseline", base_run);
+
+    // Off-line oracle.
+    control::OfflineConfig oc;
+    oc.slowdownPct = 10.0;
+    report("off-line oracle",
+           control::offlineRun(oc, bm.program, bm.ref, scfg, pcfg,
+                               window));
+
+    // On-line attack/decay.
+    control::OnlineConfig onc;
+    control::AttackDecayController ctl(onc, scfg);
+    sim::Processor onl(scfg, pcfg, bm.program, bm.ref);
+    onl.setIntervalHook(&ctl, onc.intervalInstrs);
+    report("on-line attack/decay", onl.run(window));
+
+    // Profile-driven L+F (trained on the small input).
+    core::PipelineConfig pc;
+    pc.mode = core::ContextMode::LF;
+    pc.slowdownPct = 10.0;
+    core::ProfilePipeline pipe(bm.program, pc);
+    pipe.train(bm.train, scfg, pcfg);
+    report("profile L+F",
+           pipe.runProduction(bm.ref, scfg, pcfg, window));
+
+    std::printf("gsm decode under the four control strategies "
+                "(reference input)\n");
+    std::ostringstream os;
+    t.print(os);
+    std::fputs(os.str().c_str(), stdout);
+    return 0;
+}

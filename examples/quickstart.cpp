@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Quickstart: build a small workload with the builder API, train the
+ * profile-driven DVFS pipeline on it, and run production with
+ * instrumented reconfiguration.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/pipeline.hh"
+#include "sim/processor.hh"
+#include "util/stats.hh"
+
+using namespace mcd;
+
+int
+main()
+{
+    // --- 1. Describe a workload --------------------------------------
+    // A toy signal-processing program: an integer filter kernel called
+    // from a long-running sample loop, plus an FP post-processing pass.
+    workload::ProgramBuilder b("quickstart");
+
+    workload::InstructionMix filter_mix;
+    filter_mix.set(workload::InstrClass::Load, 0.22)
+        .set(workload::InstrClass::Store, 0.08)
+        .set(workload::InstrClass::IntMul, 0.05)
+        .branches(0.12, 0.02)
+        .mem(8 * 1024, 0.9);
+
+    workload::InstructionMix post_mix;
+    post_mix.set(workload::InstrClass::FpAdd, 0.25)
+        .set(workload::InstrClass::FpMul, 0.15)
+        .set(workload::InstrClass::Load, 0.25)
+        .branches(0.06, 0.01)
+        .mem(256 * 1024, 0.95);
+
+    workload::MixId filter = b.mix(filter_mix);
+    workload::MixId post = b.mix(post_mix);
+
+    b.func("filter_block");
+    b.block(filter, 80);
+
+    b.func("postprocess");
+    b.loop(60, 1.0, [&] { b.block(post, 120); });
+
+    b.func("main");
+    b.loop(900, 1.0, [&] { b.call("filter_block"); });
+    b.call("postprocess");
+
+    workload::Program program = b.build("main");
+
+    workload::InputSet train{"train", 1, 1.0, {}};
+    workload::InputSet ref{"ref", 2, 1.5, {}};
+
+    // --- 2. Baseline run: MCD processor, all domains at 1 GHz --------
+    sim::SimConfig scfg;
+    scfg.rampNsPerMhz = 2.2;  // time-scaled DVFS ramp (EXPERIMENTS.md)
+    power::PowerConfig pcfg;
+
+    sim::Processor base(scfg, pcfg, program, ref);
+    sim::RunResult base_run = base.run(120'000);
+    std::printf("baseline: %.1f us, %.1f uJ, IPC %.2f\n",
+                static_cast<double>(base_run.timePs) / 1e6,
+                base_run.chipEnergyNj / 1000.0, base_run.ipc);
+
+    // --- 3. Train the profile-driven pipeline (phases 1-4) -----------
+    core::PipelineConfig pc;
+    pc.mode = core::ContextMode::LF;  // the paper's recommended mode
+    pc.slowdownPct = 8.0;
+    core::ProfilePipeline pipe(program, pc);
+    pipe.train(train, scfg, pcfg);
+
+    std::printf("call tree: %zu nodes, %zu long-running\n",
+                pipe.tree().size(), pipe.tree().longRunningIds().size());
+    for (auto id : pipe.tree().longRunningIds()) {
+        const auto &freqs = pipe.nodeFrequencies().at(id);
+        std::printf("  node %-24s -> fe %4.0f int %4.0f fp %4.0f "
+                    "mem %4.0f MHz\n",
+                    pipe.tree().signature(id, program).c_str(),
+                    freqs[0], freqs[1], freqs[2], freqs[3]);
+    }
+
+    // --- 4. Production run of the edited binary ----------------------
+    core::RuntimeStats rt;
+    sim::RunResult prod =
+        pipe.runProduction(ref, scfg, pcfg, 120'000, &rt);
+    Metrics m = computeMetrics(static_cast<double>(prod.timePs),
+                               prod.chipEnergyNj,
+                               static_cast<double>(base_run.timePs),
+                               base_run.chipEnergyNj);
+    std::printf("production: %.1f us, %.1f uJ\n",
+                static_cast<double>(prod.timePs) / 1e6,
+                prod.chipEnergyNj / 1000.0);
+    std::printf("  slowdown          %6.2f %%\n", m.slowdownPct);
+    std::printf("  energy savings    %6.2f %%\n", m.energySavingsPct);
+    std::printf("  energy-delay gain %6.2f %%\n",
+                m.energyDelayImprovementPct);
+    std::printf("  reconfigurations  %llu (instrumentation points "
+                "executed: %llu)\n",
+                static_cast<unsigned long long>(prod.reconfigs),
+                static_cast<unsigned long long>(rt.dynInstrPoints));
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Command-line explorer for the benchmark suite: run any benchmark
+ * under any control policy and print the paper's metrics.
+ *
+ * Usage:
+ *   suite_explorer                        # list benchmarks
+ *   suite_explorer <bench>                # all four policies
+ *   suite_explorer <bench> profile [mode] [d]
+ *   suite_explorer <bench> offline [d]
+ *   suite_explorer <bench> online [aggressiveness]
+ *   suite_explorer <bench> global
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "exp/experiment.hh"
+#include "util/table.hh"
+#include "workload/suite.hh"
+
+using namespace mcd;
+
+namespace
+{
+
+core::ContextMode
+parseMode(const char *s)
+{
+    const struct
+    {
+        const char *name;
+        core::ContextMode mode;
+    } table[] = {
+        {"lfcp", core::ContextMode::LFCP},
+        {"lfp", core::ContextMode::LFP},
+        {"fcp", core::ContextMode::FCP},
+        {"fp", core::ContextMode::FP},
+        {"lf", core::ContextMode::LF},
+        {"f", core::ContextMode::F},
+    };
+    for (const auto &e : table)
+        if (!std::strcmp(s, e.name))
+            return e.mode;
+    std::fprintf(stderr, "unknown mode '%s' (lfcp|lfp|fcp|fp|lf|f)\n",
+                 s);
+    std::exit(1);
+}
+
+void
+addRow(TextTable &t, const char *name, const exp::Outcome &o)
+{
+    t.row({name, TextTable::num(o.metrics.slowdownPct),
+           TextTable::num(o.metrics.energySavingsPct),
+           TextTable::num(o.metrics.energyDelayImprovementPct),
+           TextTable::num(o.reconfigs, 0)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::printf("benchmarks:\n");
+        for (const auto &n : workload::suiteNames())
+            std::printf("  %s\n", n.c_str());
+        std::printf("\nusage: %s <bench> "
+                    "[profile [mode] [d] | offline [d] | "
+                    "online [aggr] | global]\n",
+                    argv[0]);
+        return 0;
+    }
+    std::string bench = argv[1];
+    if (!workload::isSuiteBenchmark(bench)) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n",
+                     bench.c_str());
+        return 1;
+    }
+
+    exp::ExpConfig cfg;
+    cfg.cacheFile.clear();  // explorer runs are always fresh
+    exp::Runner runner(cfg);
+
+    TextTable t;
+    t.header({"policy", "slowdown %", "savings %", "ExD gain %",
+              "reconfigs"});
+
+    const char *policy = argc > 2 ? argv[2] : "all";
+    if (!std::strcmp(policy, "all")) {
+        addRow(t, "off-line", runner.offline(bench, cfg.d));
+        addRow(t, "on-line", runner.online(bench, 1.0));
+        addRow(t, "profile L+F",
+               runner.profile(bench, core::ContextMode::LF, cfg.d));
+        addRow(t, "global", runner.global(bench));
+    } else if (!std::strcmp(policy, "profile")) {
+        core::ContextMode mode =
+            argc > 3 ? parseMode(argv[3]) : core::ContextMode::LF;
+        double d = argc > 4 ? std::atof(argv[4]) : cfg.d;
+        auto o = runner.profile(bench, mode, d);
+        addRow(t, core::contextModeName(mode), o);
+        std::printf("static points: %g reconfig / %g instrumentation; "
+                    "tables %.2f KB\n",
+                    o.staticReconfigPoints, o.staticInstrPoints,
+                    o.tableBytes / 1024.0);
+    } else if (!std::strcmp(policy, "offline")) {
+        double d = argc > 3 ? std::atof(argv[3]) : cfg.d;
+        addRow(t, "off-line", runner.offline(bench, d));
+    } else if (!std::strcmp(policy, "online")) {
+        double a = argc > 3 ? std::atof(argv[3]) : 1.0;
+        addRow(t, "on-line", runner.online(bench, a));
+    } else if (!std::strcmp(policy, "global")) {
+        auto o = runner.global(bench);
+        addRow(t, "global", o);
+        std::printf("matched chip frequency: %.0f MHz\n",
+                    o.globalFreq);
+    } else {
+        std::fprintf(stderr, "unknown policy '%s'\n", policy);
+        return 1;
+    }
+
+    std::printf("%s (window %llu instructions, vs MCD baseline)\n",
+                bench.c_str(),
+                (unsigned long long)cfg.productionWindow);
+    std::ostringstream os;
+    t.print(os);
+    std::fputs(os.str().c_str(), stdout);
+    return 0;
+}

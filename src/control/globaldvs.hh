@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The "global" baseline of Figure 7: a single-clock processor whose
+ * one voltage/frequency is chosen per benchmark so that total run
+ * time approximately matches a target (the paper matches the
+ * off-line algorithm's run time).
+ */
+
+#ifndef MCD_CONTROL_GLOBALDVS_HH
+#define MCD_CONTROL_GLOBALDVS_HH
+
+#include <cstdint>
+
+#include "power/power.hh"
+#include "sim/processor.hh"
+#include "workload/program.hh"
+
+namespace mcd::control
+{
+
+/** Result of the global-DVS search. */
+struct GlobalDvsResult
+{
+    Mhz freq = 0.0;       ///< chosen chip frequency
+    sim::RunResult run;   ///< run at that frequency
+};
+
+/**
+ * Find (by bisection) the single chip frequency whose single-clock
+ * run time best matches @p target_time_ps without exceeding it by
+ * more than the search tolerance, and return that run.
+ *
+ * @param program    workload
+ * @param input      input set
+ * @param scfg       simulator configuration (single-clock mode is
+ *                   forced internally)
+ * @param pcfg       power configuration
+ * @param window     instructions to simulate
+ * @param target_time_ps run time to match
+ * @param iters      bisection iterations
+ */
+GlobalDvsResult
+globalDvsMatch(const workload::Program &program,
+               const workload::InputSet &input,
+               const sim::SimConfig &scfg,
+               const power::PowerConfig &pcfg, std::uint64_t window,
+               Tick target_time_ps, int iters = 6);
+
+} // namespace mcd::control
+
+#endif // MCD_CONTROL_GLOBALDVS_HH

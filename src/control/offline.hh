@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The off-line "perfect future knowledge" baseline [30]: the shaker
+ * and slowdown-thresholding algorithms applied per fixed instruction
+ * interval of the *production* run itself, yielding a frequency
+ * schedule that a re-run applies with no instrumentation cost.
+ */
+
+#ifndef MCD_CONTROL_OFFLINE_HH
+#define MCD_CONTROL_OFFLINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/shaker.hh"
+#include "core/threshold.hh"
+#include "power/power.hh"
+#include "sim/processor.hh"
+#include "workload/program.hh"
+
+namespace mcd::control
+{
+
+/** Off-line oracle parameters. */
+struct OfflineConfig
+{
+    /** Reconfiguration interval (the paper uses fixed intervals). */
+    std::uint64_t intervalInstrs = 10'000;
+    /** Slowdown threshold d (percent). */
+    double slowdownPct = 5.0;
+    /**
+     * Schedule lead: frequencies are requested this many
+     * instructions before the interval starts, hiding ramp time —
+     * the oracle knows the future.
+     */
+    std::uint64_t leadInstrs = 2'000;
+    core::ShakerConfig shaker;
+    core::ThresholdConfig threshold;
+};
+
+/**
+ * Analyze a production run with future knowledge and produce the
+ * frequency schedule to apply on the re-run.
+ *
+ * @param cfg     oracle parameters
+ * @param program workload
+ * @param input   production input set
+ * @param scfg    simulator configuration
+ * @param pcfg    power configuration
+ * @param window  instructions to analyze/schedule
+ */
+std::vector<sim::SchedulePoint>
+offlineAnalyze(const OfflineConfig &cfg,
+               const workload::Program &program,
+               const workload::InputSet &input,
+               const sim::SimConfig &scfg,
+               const power::PowerConfig &pcfg, std::uint64_t window);
+
+/**
+ * Convenience: analyze, then re-run the production input under the
+ * schedule and return the result.
+ */
+sim::RunResult offlineRun(const OfflineConfig &cfg,
+                          const workload::Program &program,
+                          const workload::InputSet &input,
+                          const sim::SimConfig &scfg,
+                          const power::PowerConfig &pcfg,
+                          std::uint64_t window);
+
+} // namespace mcd::control
+
+#endif // MCD_CONTROL_OFFLINE_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The on-line hardware attack/decay controller of Semeraro et
+ * al. [29] (MICRO 2002), used by the paper as its on-line baseline.
+ *
+ * At fixed instruction intervals, per-domain queue utilization is
+ * examined: a significant change triggers an "attack" (a large
+ * frequency step in the direction of the change); otherwise the
+ * frequency "decays" slowly downward.  An IPC guard returns all
+ * domains to speed when performance collapses.  The `aggressiveness`
+ * knob scales the decay (and relaxes the guard), producing the
+ * energy-versus-slowdown trade-off curve of Figures 10/11.
+ */
+
+#ifndef MCD_CONTROL_ONLINE_HH
+#define MCD_CONTROL_ONLINE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/trace.hh"
+
+namespace mcd::control
+{
+
+/** Attack/decay parameters. */
+struct OnlineConfig
+{
+    /** Controller evaluation interval (committed instructions). */
+    std::uint64_t intervalInstrs = 2'000;
+    /** Attack step as a fraction of the full frequency range. */
+    double attackStep = 0.10;
+    /** Decay per interval (multiplicative). */
+    double decayStep = 0.03;
+    /** Relative utilization change that triggers an attack. */
+    double changeThresh = 0.12;
+    /** Utilization below which a domain is considered idle. */
+    double idleThresh = 0.02;
+    /** IPC drop (fraction of recent best) that triggers recovery. */
+    double ipcGuard = 0.10;
+    /** Scales decay and relaxes the guard (the trade-off knob). */
+    double aggressiveness = 1.0;
+
+    /** Queue capacities (match the simulated core). */
+    int intIqSize = 20;
+    int fpIqSize = 15;
+    int lsqSize = 64;
+    int robSize = 80;
+};
+
+/**
+ * IntervalHook implementation of the attack/decay algorithm.
+ */
+class AttackDecayController : public sim::IntervalHook
+{
+  public:
+    explicit AttackDecayController(
+        const OnlineConfig &cfg = OnlineConfig(),
+        const sim::SimConfig &sim_cfg = sim::SimConfig());
+
+    void onInterval(const sim::IntervalStats &s,
+                    sim::DvfsControl &ctl) override;
+
+    /** Number of attack events so far (diagnostics). */
+    std::uint64_t attacks() const { return nAttacks; }
+    /** Number of IPC-guard recoveries so far. */
+    std::uint64_t recoveries() const { return nRecoveries; }
+
+  private:
+    OnlineConfig cfg;
+    Mhz fMin;
+    Mhz fMax;
+    std::array<double, NUM_SCALED_DOMAINS> prevUtil{};
+    double bestIpc = 0.0;
+    bool first = true;
+    std::uint64_t nAttacks = 0;
+    std::uint64_t nRecoveries = 0;
+};
+
+} // namespace mcd::control
+
+#endif // MCD_CONTROL_ONLINE_HH

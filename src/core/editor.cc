@@ -1,0 +1,138 @@
+#include "core/editor.hh"
+
+namespace mcd::core
+{
+
+namespace
+{
+
+/** Does the subtree rooted at @p id contain a long-running node? */
+bool
+hasLongRunning(const CallTree &tree, std::uint32_t id)
+{
+    const CallTreeNode &n = tree.node(id);
+    if (n.longRunning)
+        return true;
+    for (std::uint32_t c : n.children)
+        if (hasLongRunning(tree, c))
+            return true;
+    return false;
+}
+
+} // namespace
+
+InstrumentationPlan
+buildPlan(const CallTree &tree,
+          const std::map<std::uint32_t, sim::FreqSet> &node_freqs,
+          ContextMode runtime_mode)
+{
+    InstrumentationPlan plan;
+    plan.mode = runtime_mode;
+    plan.nodeFreqs = node_freqs;
+
+    bool loops = modeHasLoops(runtime_mode);
+    bool sites = modeHasSites(runtime_mode);
+    bool path = modeTracksPath(runtime_mode);
+
+    // Weighted accumulation for the static (L+F / F) settings.
+    struct Acc
+    {
+        std::array<double, NUM_SCALED_DOMAINS> sum{};
+        double weight = 0.0;
+    };
+    std::map<std::uint16_t, Acc> func_acc;
+    std::map<std::uint16_t, Acc> loop_acc;
+
+    for (std::uint32_t id : tree.nodeIds()) {
+        const CallTreeNode &n = tree.node(id);
+        bool relevant = n.longRunning || hasLongRunning(tree, id);
+        if (!relevant)
+            continue;
+
+        if (n.kind == NodeKind::Func) {
+            plan.instrumentedFuncs.insert(n.func);
+            if (sites)
+                plan.instrumentedSites.insert(n.site);
+        } else if (loops) {
+            plan.instrumentedLoops.insert(n.loop);
+        }
+
+        if (n.longRunning) {
+            auto it = node_freqs.find(id);
+            if (it != node_freqs.end()) {
+                double w = static_cast<double>(n.inclInstrs);
+                Acc &acc = n.kind == NodeKind::Func
+                               ? func_acc[n.func]
+                               : loop_acc[n.loop];
+                for (int d = 0; d < NUM_SCALED_DOMAINS; ++d)
+                    acc.sum[static_cast<size_t>(d)] +=
+                        it->second[static_cast<size_t>(d)] * w;
+                acc.weight += w;
+            }
+        }
+    }
+
+    // For L+F / F: only entities with long-running nodes carry any
+    // instrumentation, and they reconfigure with static values.
+    auto finish_acc = [](const Acc &a) {
+        sim::FreqSet f{};
+        for (int d = 0; d < NUM_SCALED_DOMAINS; ++d)
+            f[static_cast<size_t>(d)] =
+                a.weight > 0.0
+                    ? a.sum[static_cast<size_t>(d)] / a.weight
+                    : 1000.0;
+        return f;
+    };
+    for (const auto &kv : func_acc)
+        plan.staticFuncFreqs[kv.first] = finish_acc(kv.second);
+    if (loops) {
+        for (const auto &kv : loop_acc)
+            plan.staticLoopFreqs[kv.first] = finish_acc(kv.second);
+    }
+
+    if (!path) {
+        // No tracking instrumentation at all in L+F / F.
+        plan.instrumentedFuncs.clear();
+        plan.instrumentedLoops.clear();
+        plan.instrumentedSites.clear();
+        plan.staticReconfigPoints =
+            static_cast<int>(plan.staticFuncFreqs.size() +
+                             plan.staticLoopFreqs.size());
+        plan.staticInstrPoints = plan.staticReconfigPoints;
+        plan.nextNodeTableBytes = 0;
+        plan.freqTableBytes =
+            static_cast<std::size_t>(plan.staticReconfigPoints) * 8;
+        return plan;
+    }
+
+    // Path modes: reconfiguration points are the entities of
+    // long-running nodes; instrumentation points cover every entity
+    // on a path to a long-running node.
+    std::set<std::uint16_t> reconfig_funcs, reconfig_loops;
+    for (std::uint32_t id : tree.nodeIds()) {
+        const CallTreeNode &n = tree.node(id);
+        if (!n.longRunning)
+            continue;
+        if (n.kind == NodeKind::Func)
+            reconfig_funcs.insert(n.func);
+        else if (loops)
+            reconfig_loops.insert(n.loop);
+    }
+    plan.staticReconfigPoints =
+        static_cast<int>(reconfig_funcs.size() + reconfig_loops.size());
+    plan.staticInstrPoints =
+        static_cast<int>(plan.instrumentedFuncs.size() +
+                         plan.instrumentedLoops.size() +
+                         plan.instrumentedSites.size());
+
+    // Lookup tables (Section 3.4): an (N+1) x (S+1) next-node table
+    // of 2-byte labels, and an (N+1)-entry frequency table with four
+    // 16-bit frequency codes per entry.
+    std::size_t n_nodes = tree.size();
+    std::size_t n_subs = plan.instrumentedFuncs.size();
+    plan.nextNodeTableBytes = (n_nodes + 1) * (n_subs + 1) * 2;
+    plan.freqTableBytes = (n_nodes + 1) * 8;
+    return plan;
+}
+
+} // namespace mcd::core

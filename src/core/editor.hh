@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Phase 4: application editing (Section 3.4).
+ *
+ * Computes the instrumentation plan for a given context mode: which
+ * subroutines, loops and call sites receive tracking instrumentation,
+ * which points are reconfiguration points, the node-label and
+ * frequency lookup tables (and their sizes), and — for the L+F and F
+ * modes — the statically-known per-entity frequency settings.
+ */
+
+#ifndef MCD_CORE_EDITOR_HH
+#define MCD_CORE_EDITOR_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/calltree.hh"
+#include "sim/trace.hh"
+
+namespace mcd::core
+{
+
+/**
+ * The edited binary, abstracted: instrumentation point sets plus
+ * lookup tables.
+ */
+struct InstrumentationPlan
+{
+    ContextMode mode = ContextMode::LF;
+
+    /** Per tree node: chosen frequencies (long-running nodes only). */
+    std::map<std::uint32_t, sim::FreqSet> nodeFreqs;
+
+    // --- static instrumentation point sets (path modes) ---
+    /** Functions with instrumented prologue/epilogue. */
+    std::set<std::uint16_t> instrumentedFuncs;
+    /** Loops with instrumented header/footer (L modes). */
+    std::set<std::uint16_t> instrumentedLoops;
+    /** Instrumented call sites (C modes). */
+    std::set<std::uint16_t> instrumentedSites;
+
+    // --- static reconfiguration settings for L+F and F modes ---
+    std::map<std::uint16_t, sim::FreqSet> staticFuncFreqs;
+    std::map<std::uint16_t, sim::FreqSet> staticLoopFreqs;
+
+    // --- summary numbers (Table 4, Figure 12, Section 3.4) ---
+    int staticReconfigPoints = 0;  ///< entities that reconfigure
+    int staticInstrPoints = 0;     ///< all instrumented entities
+    std::size_t nextNodeTableBytes = 0;  ///< (N+1)x(S+1) label table
+    std::size_t freqTableBytes = 0;      ///< (N+1)-entry freq table
+
+    /** True if entering tree node @p id writes the reconfig register. */
+    bool nodeReconfigures(std::uint32_t id) const
+    {
+        return nodeFreqs.count(id) != 0;
+    }
+};
+
+/**
+ * Build the instrumentation plan from an analyzed tree and the
+ * per-node frequency choices.
+ *
+ * Rules (paper Section 3.4): subroutines and loops corresponding to
+ * nodes that are long-running or have long-running descendants are
+ * instrumented; long-running nodes additionally reconfigure.  In the
+ * C modes, call sites that can lead to long-running nodes are
+ * instrumented.  In the L+F and F modes there is no path tracking:
+ * every instrumentation point is a reconfiguration point whose
+ * frequency values are statically known (instance-weighted average
+ * over the entity's long-running nodes).
+ */
+InstrumentationPlan
+buildPlan(const CallTree &tree,
+          const std::map<std::uint32_t, sim::FreqSet> &node_freqs,
+          ContextMode runtime_mode);
+
+} // namespace mcd::core
+
+#endif // MCD_CORE_EDITOR_HH

@@ -1,0 +1,80 @@
+#include "core/pipeline.hh"
+
+#include "util/logging.hh"
+
+namespace mcd::core
+{
+
+ProfilePipeline::ProfilePipeline(const workload::Program &p,
+                                 const PipelineConfig &c)
+    : program(p), cfg(c)
+{
+}
+
+void
+ProfilePipeline::train(const workload::InputSet &train_input,
+                       const sim::SimConfig &scfg,
+                       const power::PowerConfig &pcfg)
+{
+    // Phase 1: profiling run (functional), long-running selection.
+    tree_ = std::make_unique<CallTree>(
+        profileProgram(program, train_input, cfg.mode, cfg.profile));
+
+    // Phase 2: full-speed analysis simulation with event tracing.
+    ShakerConfig shaker_cfg = cfg.shaker;
+    shaker_cfg.domainPowerWeight = pcfg.domainWeight;
+    shaker_cfg.nominalMhz = scfg.maxMhz;
+    shaker_cfg.l1LatencyCycles = scfg.l1Latency;
+    shaker_cfg.l2LatencyCycles = scfg.l2Latency;
+    shaker_cfg.robSize = scfg.robSize;
+    shaker_cfg.lsqSize = scfg.lsqSize;
+    shaker_cfg.intIqSize = scfg.intIqSize;
+    shaker_cfg.fpIqSize = scfg.fpIqSize;
+    shaker_cfg.fetchWidth = scfg.fetchWidth;
+    shaker_cfg.retireWidth = scfg.retireWidth;
+    shaker_cfg.intIssueWidth = scfg.intIssueWidth;
+    shaker_cfg.fpIssueWidth = scfg.fpIssueWidth;
+    shaker_cfg.memIssueWidth = scfg.memIssueWidth;
+    shaker_cfg.mispredictPenalty = scfg.mispredictPenalty;
+    NodeTracker tracker(*tree_);
+    AnalysisCollector collector(shaker_cfg, cfg.limits);
+    sim::Processor analysis(scfg, pcfg, program, train_input);
+    analysis.setMarkerHandler(&tracker);
+    analysis.setTraceSink(&collector);
+    analysis.run(cfg.analysisWindow);
+    nodeHists = collector.finish();
+
+    // Phase 3: slowdown thresholding.
+    ThresholdConfig tcfg;
+    tcfg.slowdownPct = cfg.slowdownPct;
+    tcfg.steps = shaker_cfg.steps;
+    nodeFreqs.clear();
+    for (const auto &kv : nodeHists) {
+        if (kv.first != 0 && tree_->node(kv.first).longRunning)
+            nodeFreqs[kv.first] = chooseFrequencies(kv.second, tcfg);
+    }
+
+    // Phase 4: application editing.
+    plan_ = buildPlan(*tree_, nodeFreqs, cfg.mode);
+    trained = true;
+}
+
+sim::RunResult
+ProfilePipeline::runProduction(const workload::InputSet &input,
+                               const sim::SimConfig &scfg,
+                               const power::PowerConfig &pcfg,
+                               std::uint64_t window,
+                               RuntimeStats *rt_out)
+{
+    if (!trained)
+        fatal("ProfilePipeline::runProduction() before train()");
+    ProfileRuntime runtime(*tree_, plan_, cfg.costs);
+    sim::Processor proc(scfg, pcfg, program, input);
+    proc.setMarkerHandler(&runtime);
+    sim::RunResult r = proc.run(window);
+    if (rt_out)
+        *rt_out = runtime.stats();
+    return r;
+}
+
+} // namespace mcd::core

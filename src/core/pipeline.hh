@@ -1,0 +1,113 @@
+/**
+ * @file
+ * End-to-end profile-driven reconfiguration pipeline: the paper's
+ * four phases wired together behind one API.
+ *
+ *   1. profile the training run, build the call tree, select
+ *      long-running nodes;
+ *   2. simulate the training run at full speed, collect the
+ *      primitive-event trace per node, run the shaker;
+ *   3. slowdown-threshold the histograms into per-node frequencies;
+ *   4. edit the application (instrumentation plan);
+ *   then run the edited binary on a production input.
+ */
+
+#ifndef MCD_CORE_PIPELINE_HH
+#define MCD_CORE_PIPELINE_HH
+
+#include <map>
+#include <memory>
+
+#include "core/editor.hh"
+#include "core/profiler.hh"
+#include "core/runtime.hh"
+#include "core/shaker.hh"
+#include "core/threshold.hh"
+#include "sim/processor.hh"
+
+namespace mcd::core
+{
+
+/** Configuration of the whole pipeline. */
+struct PipelineConfig
+{
+    ContextMode mode = ContextMode::LF;
+    /** Slowdown threshold d (percent), Section 3.3. */
+    double slowdownPct = 5.0;
+    ProfileConfig profile;
+    ShakerConfig shaker;
+    AnalysisCollector::Limits limits;
+    /** Timing-simulated instructions for the phase-2 analysis run. */
+    std::uint64_t analysisWindow = 200'000;
+    RuntimeCosts costs;
+};
+
+/**
+ * Driver object owning the trained state (tree, frequencies, plan).
+ */
+class ProfilePipeline
+{
+  public:
+    /**
+     * @param program workload (must outlive the pipeline)
+     * @param cfg     pipeline configuration
+     */
+    ProfilePipeline(const workload::Program &program,
+                    const PipelineConfig &cfg);
+
+    /**
+     * Run phases 1-4 on the training input.
+     *
+     * @param train training input set
+     * @param scfg  simulator configuration for the analysis run
+     * @param pcfg  power model configuration
+     */
+    void train(const workload::InputSet &train,
+               const sim::SimConfig &scfg,
+               const power::PowerConfig &pcfg);
+
+    /**
+     * Run the edited binary on a production input.
+     *
+     * @param input  production input set
+     * @param scfg   simulator configuration
+     * @param pcfg   power model configuration
+     * @param window instructions to simulate
+     * @param rt_out optional: receives dynamic instrumentation counts
+     */
+    sim::RunResult runProduction(const workload::InputSet &input,
+                                 const sim::SimConfig &scfg,
+                                 const power::PowerConfig &pcfg,
+                                 std::uint64_t window,
+                                 RuntimeStats *rt_out = nullptr);
+
+    /** The training call tree (valid after train()). */
+    const CallTree &tree() const { return *tree_; }
+    /** The instrumentation plan (valid after train()). */
+    const InstrumentationPlan &plan() const { return plan_; }
+    /** Chosen frequencies per long-running node. */
+    const std::map<std::uint32_t, sim::FreqSet> &
+    nodeFrequencies() const
+    {
+        return nodeFreqs;
+    }
+    /** Shaker outputs per node (for inspection/tests). */
+    const std::map<std::uint32_t, NodeHistograms> &
+    nodeHistograms() const
+    {
+        return nodeHists;
+    }
+
+  private:
+    const workload::Program &program;
+    PipelineConfig cfg;
+    std::unique_ptr<CallTree> tree_;
+    std::map<std::uint32_t, NodeHistograms> nodeHists;
+    std::map<std::uint32_t, sim::FreqSet> nodeFreqs;
+    InstrumentationPlan plan_;
+    bool trained = false;
+};
+
+} // namespace mcd::core
+
+#endif // MCD_CORE_PIPELINE_HH

@@ -1,0 +1,38 @@
+#include "core/profiler.hh"
+
+#include "workload/stream.hh"
+
+namespace mcd::core
+{
+
+CallTree
+profileProgram(const workload::Program &program,
+               const workload::InputSet &input, ContextMode mode,
+               const ProfileConfig &cfg)
+{
+    CallTree tree(mode);
+    workload::Stream stream(program, input);
+    workload::StreamItem item;
+    std::uint64_t instrs = 0;
+    std::uint64_t pending = 0;
+    while (stream.next(item)) {
+        if (item.kind == workload::StreamItem::Kind::Instr) {
+            ++pending;
+            ++instrs;
+            if (cfg.maxInstrs && instrs >= cfg.maxInstrs)
+                break;
+        } else {
+            if (pending) {
+                tree.onInstr(pending);
+                pending = 0;
+            }
+            tree.onMarker(item.marker);
+        }
+    }
+    if (pending)
+        tree.onInstr(pending);
+    tree.identifyLongRunning(cfg.longRunningThreshold);
+    return tree;
+}
+
+} // namespace mcd::core

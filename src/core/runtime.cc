@@ -1,0 +1,182 @@
+#include "core/runtime.hh"
+
+namespace mcd::core
+{
+
+using workload::Marker;
+using workload::MarkerKind;
+
+ProfileRuntime::ProfileRuntime(const CallTree &tree,
+                               const InstrumentationPlan &p,
+                               const RuntimeCosts &c)
+    : plan(p), costs(c), path(modeTracksPath(p.mode)), walker(tree)
+{
+    shadow = {1000.0, 1000.0, 1000.0, 1000.0};
+}
+
+std::uint32_t
+ProfileRuntime::currentNode() const
+{
+    return path ? walker.current() : 0;
+}
+
+sim::MarkerAction
+ProfileRuntime::makeReconfig(const sim::FreqSet &freqs, int cycles)
+{
+    sim::MarkerAction a;
+    a.reconfig = true;
+    a.freqs = freqs;
+    a.stallCycles = cycles;
+    a.energyPj = cycles * costs.energyPjPerCycle;
+    ++stats_.dynReconfigPoints;
+    return a;
+}
+
+sim::MarkerAction
+ProfileRuntime::onMarker(const Marker &m)
+{
+    return path ? onMarkerPath(m) : onMarkerStatic(m);
+}
+
+sim::MarkerAction
+ProfileRuntime::onMarkerPath(const Marker &m)
+{
+    sim::MarkerAction a;
+    switch (m.kind) {
+      case MarkerKind::CallSite:
+        if (plan.instrumentedSites.count(m.site)) {
+            a.stallCycles = costs.siteTrackCycles;
+            a.energyPj = a.stallCycles * costs.energyPjPerCycle;
+            ++stats_.dynInstrPoints;
+        }
+        return a;
+
+      case MarkerKind::FuncEnter: {
+        walker.onMarker(m);
+        if (!plan.instrumentedFuncs.count(m.func))
+            return a;
+        ++stats_.dynInstrPoints;
+        std::uint32_t node = walker.current();
+        if (node != 0 && plan.nodeReconfigures(node)) {
+            const sim::FreqSet &f = plan.nodeFreqs.at(node);
+            saved.push_back(shadow);
+            shadow = f;
+            return makeReconfig(
+                f, costs.funcTrackCycles + costs.reconfigExtraCycles);
+        }
+        a.stallCycles = costs.funcTrackCycles;
+        a.energyPj = a.stallCycles * costs.energyPjPerCycle;
+        return a;
+      }
+
+      case MarkerKind::FuncExit: {
+        std::uint32_t node = walker.current();
+        walker.onMarker(m);
+        if (!plan.instrumentedFuncs.count(m.func))
+            return a;
+        ++stats_.dynInstrPoints;
+        if (node != 0 && plan.nodeReconfigures(node) &&
+            !saved.empty()) {
+            sim::FreqSet restore = saved.back();
+            saved.pop_back();
+            shadow = restore;
+            return makeReconfig(
+                restore,
+                costs.funcTrackCycles + costs.reconfigExtraCycles);
+        }
+        a.stallCycles = costs.funcTrackCycles;
+        a.energyPj = a.stallCycles * costs.energyPjPerCycle;
+        return a;
+      }
+
+      case MarkerKind::LoopEnter: {
+        walker.onMarker(m);
+        if (!plan.instrumentedLoops.count(m.loop))
+            return a;
+        ++stats_.dynInstrPoints;
+        std::uint32_t node = walker.current();
+        if (node != 0 && plan.nodeReconfigures(node)) {
+            const sim::FreqSet &f = plan.nodeFreqs.at(node);
+            saved.push_back(shadow);
+            shadow = f;
+            return makeReconfig(
+                f, costs.loopTrackCycles + costs.reconfigExtraCycles);
+        }
+        a.stallCycles = costs.loopTrackCycles;
+        a.energyPj = a.stallCycles * costs.energyPjPerCycle;
+        return a;
+      }
+
+      case MarkerKind::LoopExit: {
+        std::uint32_t node = walker.current();
+        walker.onMarker(m);
+        if (!plan.instrumentedLoops.count(m.loop))
+            return a;
+        ++stats_.dynInstrPoints;
+        if (node != 0 && plan.nodeReconfigures(node) &&
+            !saved.empty()) {
+            sim::FreqSet restore = saved.back();
+            saved.pop_back();
+            shadow = restore;
+            return makeReconfig(
+                restore,
+                costs.loopTrackCycles + costs.reconfigExtraCycles);
+        }
+        a.stallCycles = costs.loopTrackCycles;
+        a.energyPj = a.stallCycles * costs.energyPjPerCycle;
+        return a;
+      }
+    }
+    return a;
+}
+
+sim::MarkerAction
+ProfileRuntime::onMarkerStatic(const Marker &m)
+{
+    sim::MarkerAction a;
+    switch (m.kind) {
+      case MarkerKind::FuncEnter: {
+        auto it = plan.staticFuncFreqs.find(m.func);
+        if (it == plan.staticFuncFreqs.end())
+            return a;
+        ++stats_.dynInstrPoints;
+        saved.push_back(shadow);
+        shadow = it->second;
+        return makeReconfig(it->second, costs.staticReconfigCycles);
+      }
+      case MarkerKind::FuncExit: {
+        auto it = plan.staticFuncFreqs.find(m.func);
+        if (it == plan.staticFuncFreqs.end() || saved.empty())
+            return a;
+        ++stats_.dynInstrPoints;
+        sim::FreqSet restore = saved.back();
+        saved.pop_back();
+        shadow = restore;
+        return makeReconfig(restore, costs.staticReconfigCycles);
+      }
+      case MarkerKind::LoopEnter: {
+        auto it = plan.staticLoopFreqs.find(m.loop);
+        if (it == plan.staticLoopFreqs.end())
+            return a;
+        ++stats_.dynInstrPoints;
+        saved.push_back(shadow);
+        shadow = it->second;
+        return makeReconfig(it->second, costs.staticReconfigCycles);
+      }
+      case MarkerKind::LoopExit: {
+        auto it = plan.staticLoopFreqs.find(m.loop);
+        if (it == plan.staticLoopFreqs.end() || saved.empty())
+            return a;
+        ++stats_.dynInstrPoints;
+        sim::FreqSet restore = saved.back();
+        saved.pop_back();
+        shadow = restore;
+        return makeReconfig(restore, costs.staticReconfigCycles);
+      }
+      case MarkerKind::CallSite:
+        return a;
+    }
+    return a;
+}
+
+} // namespace mcd::core

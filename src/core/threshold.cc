@@ -1,0 +1,46 @@
+#include "core/threshold.hh"
+
+namespace mcd::core
+{
+
+sim::FreqSet
+chooseFrequencies(const NodeHistograms &node, const ThresholdConfig &cfg)
+{
+    sim::FreqSet out{};
+    // Budget: d% of the node's analyzed wall time, expressed in
+    // microseconds (cycles / MHz).
+    double base_budget_us = cfg.slowdownPct / 100.0 *
+                            static_cast<double>(node.spanPs) * 1e-6;
+
+    for (int d = 0; d < NUM_SCALED_DOMAINS; ++d) {
+        double share = d == static_cast<int>(Domain::FrontEnd)
+                           ? cfg.frontEndShare
+                           : cfg.perDomainShare;
+        double budget_us = base_budget_us * share;
+        const FreqHistogram &h = node.hist[d];
+        const FreqSteps &steps = h.steps();
+        if (h.totalCycles() <= 0.0) {
+            out[static_cast<size_t>(d)] = cfg.steps.minMhz();
+            continue;
+        }
+        Mhz chosen = steps.maxMhz();
+        for (int i = 0; i < steps.numSteps(); ++i) {
+            Mhz f = steps.freqAt(i);
+            double extra_us = 0.0;
+            for (int b = i + 1; b < steps.numSteps(); ++b) {
+                double cycles = h.binCycles(b);
+                if (cycles <= 0.0)
+                    continue;
+                extra_us += cycles * (1.0 / f - 1.0 / steps.freqAt(b));
+            }
+            if (extra_us <= budget_us) {
+                chosen = f;
+                break;
+            }
+        }
+        out[static_cast<size_t>(d)] = cfg.steps.quantize(chosen);
+    }
+    return out;
+}
+
+} // namespace mcd::core

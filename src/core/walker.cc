@@ -1,0 +1,94 @@
+#include "core/walker.hh"
+
+#include "util/logging.hh"
+
+namespace mcd::core
+{
+
+using workload::Marker;
+using workload::MarkerKind;
+
+TreeWalker::TreeWalker(const CallTree &t)
+    : tree(t)
+{
+    stack.push_back(Entry{0, 0});
+}
+
+void
+TreeWalker::push(std::uint32_t node)
+{
+    Entry e;
+    e.node = node;
+    if (node != 0 && tree.node(node).longRunning)
+        e.covering = node;
+    else
+        e.covering = stack.back().covering;
+    stack.push_back(e);
+}
+
+void
+TreeWalker::onMarker(const Marker &m)
+{
+    switch (m.kind) {
+      case MarkerKind::CallSite:
+        return;
+
+      case MarkerKind::FuncEnter: {
+        if (m.func >= funcDepth.size())
+            funcDepth.resize(m.func + 1, 0);
+        if (funcDepth[m.func] > 0) {
+            // Recursion folds to the ancestor, mirroring training.
+            std::uint32_t ancestor = 0;
+            for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+                if (it->node != 0 &&
+                    tree.node(it->node).kind == NodeKind::Func &&
+                    tree.node(it->node).func == m.func) {
+                    ancestor = it->node;
+                    break;
+                }
+            }
+            ++funcDepth[m.func];
+            push(ancestor);
+            return;
+        }
+        ++funcDepth[m.func];
+        std::uint32_t cur = stack.back().node;
+        std::uint32_t child =
+            cur == 0 && stack.size() > 1
+                ? 0  // inside an unknown subpath: stay unknown
+                : tree.findChild(cur, NodeKind::Func, m.func, m.site);
+        push(child);
+        return;
+      }
+
+      case MarkerKind::FuncExit:
+        if (stack.size() <= 1)
+            panic("tree walker underflow on FuncExit");
+        if (m.func < funcDepth.size() && funcDepth[m.func] > 0)
+            --funcDepth[m.func];
+        stack.pop_back();
+        return;
+
+      case MarkerKind::LoopEnter: {
+        if (!modeHasLoops(tree.mode())) {
+            stack.push_back(stack.back());
+            return;
+        }
+        std::uint32_t cur = stack.back().node;
+        std::uint32_t child =
+            cur == 0 && stack.size() > 1
+                ? 0
+                : tree.findChild(cur, NodeKind::Loop, m.loop, 0);
+        push(child);
+        return;
+      }
+
+      case MarkerKind::LoopExit:
+        if (stack.size() <= 1)
+            panic("tree walker underflow on LoopExit");
+        stack.pop_back();
+        return;
+    }
+}
+
+} // namespace mcd::core

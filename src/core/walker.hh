@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Read-only call-tree walker: follows the marker stream over an
+ * already-built tree without creating nodes.  Used to attribute
+ * simulation trace records to long-running nodes (phase 2) and as
+ * the label-tracking core of the production-run instrumentation
+ * emulation (phase 4).
+ *
+ * Paths that were not seen during training map to node 0, the
+ * paper's "label 0" (Section 3.4).
+ */
+
+#ifndef MCD_CORE_WALKER_HH
+#define MCD_CORE_WALKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/calltree.hh"
+#include "sim/trace.hh"
+
+namespace mcd::core
+{
+
+/**
+ * Follows markers over a CallTree.
+ */
+class TreeWalker
+{
+  public:
+    /** @param tree analyzed tree (must outlive the walker). */
+    explicit TreeWalker(const CallTree &tree);
+
+    /** Follow one marker. */
+    void onMarker(const workload::Marker &m);
+
+    /** Current node id; 0 = unknown path or root. */
+    std::uint32_t current() const { return stack.back().node; }
+
+    /**
+     * Innermost long-running node covering the current position
+     * (0 = none).  Unknown subpaths inherit the enclosing covering
+     * node (frequencies simply stay as last configured).
+     */
+    std::uint32_t covering() const { return stack.back().covering; }
+
+    /** Depth of the walk stack (root = 1). */
+    std::size_t depth() const { return stack.size(); }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t node = 0;
+        std::uint32_t covering = 0;
+    };
+
+    void push(std::uint32_t node);
+
+    const CallTree &tree;
+    std::vector<Entry> stack;
+    std::vector<std::uint32_t> funcDepth;
+};
+
+/**
+ * MarkerHandler used during the phase-2 analysis run: follows the
+ * tree with zero overhead and exposes the covering long-running node
+ * so the simulator stamps it into the timing trace.
+ */
+class NodeTracker : public sim::MarkerHandler
+{
+  public:
+    explicit NodeTracker(const CallTree &tree) : walker(tree) {}
+
+    sim::MarkerAction
+    onMarker(const workload::Marker &m) override
+    {
+        walker.onMarker(m);
+        return {};
+    }
+
+    std::uint32_t currentNode() const override
+    {
+        return walker.covering();
+    }
+
+  private:
+    TreeWalker walker;
+};
+
+} // namespace mcd::core
+
+#endif // MCD_CORE_WALKER_HH

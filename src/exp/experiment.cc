@@ -1,0 +1,257 @@
+#include "exp/experiment.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "control/globaldvs.hh"
+#include "control/offline.hh"
+#include "control/online.hh"
+#include "util/logging.hh"
+#include "workload/suite.hh"
+
+namespace mcd::exp
+{
+
+namespace
+{
+
+/** Cache schema version: bump when simulation physics change. */
+constexpr int CACHE_VERSION = 1;
+
+std::string
+outcomeToLine(const std::string &key, const Outcome &o)
+{
+    return strprintf(
+        "%s,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,"
+        "%.17g,%.17g",
+        key.c_str(), o.timePs, o.energyNj, o.reconfigs,
+        o.overheadCycles, o.feCycles, o.dynReconfigPoints,
+        o.dynInstrPoints, o.staticReconfigPoints, o.staticInstrPoints,
+        o.tableBytes, o.globalFreq);
+}
+
+bool
+lineToOutcome(const std::string &line, std::string &key, Outcome &o)
+{
+    std::istringstream is(line);
+    std::string cell;
+    if (!std::getline(is, key, ','))
+        return false;
+    double *fields[] = {
+        &o.timePs, &o.energyNj, &o.reconfigs, &o.overheadCycles,
+        &o.feCycles, &o.dynReconfigPoints, &o.dynInstrPoints,
+        &o.staticReconfigPoints, &o.staticInstrPoints, &o.tableBytes,
+        &o.globalFreq,
+    };
+    for (double *f : fields) {
+        if (!std::getline(is, cell, ','))
+            return false;
+        *f = std::stod(cell);
+    }
+    return true;
+}
+
+} // namespace
+
+Runner::Runner(const ExpConfig &c)
+    : cfg(c)
+{
+    loadCache();
+}
+
+void
+Runner::loadCache()
+{
+    if (cfg.cacheFile.empty())
+        return;
+    std::ifstream in(cfg.cacheFile);
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::string key;
+        Outcome o;
+        if (lineToOutcome(line, key, o))
+            memo[key] = o;
+    }
+}
+
+void
+Runner::appendCache(const std::string &key, const Outcome &o)
+{
+    if (cfg.cacheFile.empty())
+        return;
+    std::ofstream out(cfg.cacheFile, std::ios::app);
+    out << outcomeToLine(key, o) << '\n';
+}
+
+Outcome *
+Runner::lookup(const std::string &key)
+{
+    auto it = memo.find(key);
+    return it == memo.end() ? nullptr : &it->second;
+}
+
+void
+Runner::store(const std::string &key, const Outcome &o)
+{
+    memo[key] = o;
+    appendCache(key, o);
+}
+
+Metrics
+Runner::vsBaseline(const std::string &bench, const Outcome &o)
+{
+    Outcome base = baseline(bench);
+    return computeMetrics(o.timePs, o.energyNj, base.timePs,
+                          base.energyNj);
+}
+
+Outcome
+Runner::baseline(const std::string &bench)
+{
+    std::string key = strprintf("v%d|base|%s|w%llu", CACHE_VERSION,
+                                bench.c_str(),
+                                (unsigned long long)cfg.productionWindow);
+    if (Outcome *hit = lookup(key))
+        return *hit;
+    workload::Benchmark bm = workload::makeBenchmark(bench);
+    sim::Processor proc(cfg.sim, cfg.power, bm.program, bm.ref);
+    sim::RunResult r = proc.run(cfg.productionWindow);
+    Outcome o;
+    o.timePs = static_cast<double>(r.timePs);
+    o.energyNj = r.chipEnergyNj;
+    store(key, o);
+    return o;
+}
+
+Outcome
+Runner::profile(const std::string &bench, core::ContextMode mode,
+                double d)
+{
+    std::string key = strprintf(
+        "v%d|profile|%s|%s|d%.3f|w%llu|a%llu", CACHE_VERSION,
+        bench.c_str(), core::contextModeName(mode), d,
+        (unsigned long long)cfg.productionWindow,
+        (unsigned long long)cfg.analysisWindow);
+    if (Outcome *hit = lookup(key)) {
+        Outcome o = *hit;
+        o.metrics = vsBaseline(bench, o);
+        return o;
+    }
+    workload::Benchmark bm = workload::makeBenchmark(bench);
+    core::PipelineConfig pc;
+    pc.mode = mode;
+    pc.slowdownPct = d;
+    pc.profile.maxInstrs = cfg.profileMaxInstrs;
+    pc.analysisWindow = cfg.analysisWindow;
+    core::ProfilePipeline pipe(bm.program, pc);
+    pipe.train(bm.train, cfg.sim, cfg.power);
+    core::RuntimeStats rt;
+    sim::RunResult r = pipe.runProduction(bm.ref, cfg.sim, cfg.power,
+                                          cfg.productionWindow, &rt);
+    Outcome o;
+    o.timePs = static_cast<double>(r.timePs);
+    o.energyNj = r.chipEnergyNj;
+    o.reconfigs = static_cast<double>(r.reconfigs);
+    o.overheadCycles = static_cast<double>(r.overheadCycles);
+    o.feCycles = static_cast<double>(r.feCycles);
+    o.dynReconfigPoints = static_cast<double>(rt.dynReconfigPoints);
+    o.dynInstrPoints = static_cast<double>(rt.dynInstrPoints);
+    o.staticReconfigPoints = pipe.plan().staticReconfigPoints;
+    o.staticInstrPoints = pipe.plan().staticInstrPoints;
+    o.tableBytes = static_cast<double>(pipe.plan().nextNodeTableBytes +
+                                       pipe.plan().freqTableBytes);
+    store(key, o);
+    o.metrics = vsBaseline(bench, o);
+    return o;
+}
+
+Outcome
+Runner::offline(const std::string &bench, double d)
+{
+    std::string key = strprintf("v%d|offline|%s|d%.3f|w%llu|i%llu",
+                                CACHE_VERSION, bench.c_str(), d,
+                                (unsigned long long)cfg.productionWindow,
+                                (unsigned long long)cfg.offlineInterval);
+    if (Outcome *hit = lookup(key)) {
+        Outcome o = *hit;
+        o.metrics = vsBaseline(bench, o);
+        return o;
+    }
+    workload::Benchmark bm = workload::makeBenchmark(bench);
+    control::OfflineConfig oc;
+    oc.intervalInstrs = cfg.offlineInterval;
+    oc.slowdownPct = d;
+    sim::RunResult r =
+        control::offlineRun(oc, bm.program, bm.ref, cfg.sim, cfg.power,
+                            cfg.productionWindow);
+    Outcome o;
+    o.timePs = static_cast<double>(r.timePs);
+    o.energyNj = r.chipEnergyNj;
+    o.reconfigs = static_cast<double>(r.reconfigs);
+    store(key, o);
+    o.metrics = vsBaseline(bench, o);
+    return o;
+}
+
+Outcome
+Runner::online(const std::string &bench, double aggressiveness)
+{
+    std::string key = strprintf("v%d|online|%s|a%.3f|w%llu",
+                                CACHE_VERSION, bench.c_str(),
+                                aggressiveness,
+                                (unsigned long long)cfg.productionWindow);
+    if (Outcome *hit = lookup(key)) {
+        Outcome o = *hit;
+        o.metrics = vsBaseline(bench, o);
+        return o;
+    }
+    workload::Benchmark bm = workload::makeBenchmark(bench);
+    control::OnlineConfig oc;
+    oc.aggressiveness = aggressiveness;
+    oc.intIqSize = cfg.sim.intIqSize;
+    oc.fpIqSize = cfg.sim.fpIqSize;
+    oc.lsqSize = cfg.sim.lsqSize;
+    oc.robSize = cfg.sim.robSize;
+    control::AttackDecayController ctl(oc, cfg.sim);
+    sim::Processor proc(cfg.sim, cfg.power, bm.program, bm.ref);
+    proc.setIntervalHook(&ctl, oc.intervalInstrs);
+    sim::RunResult r = proc.run(cfg.productionWindow);
+    Outcome o;
+    o.timePs = static_cast<double>(r.timePs);
+    o.energyNj = r.chipEnergyNj;
+    o.reconfigs = static_cast<double>(r.reconfigs);
+    store(key, o);
+    o.metrics = vsBaseline(bench, o);
+    return o;
+}
+
+Outcome
+Runner::global(const std::string &bench)
+{
+    std::string key = strprintf("v%d|global|%s|d%.3f|w%llu",
+                                CACHE_VERSION, bench.c_str(), cfg.d,
+                                (unsigned long long)cfg.productionWindow);
+    if (Outcome *hit = lookup(key)) {
+        Outcome o = *hit;
+        o.metrics = vsBaseline(bench, o);
+        return o;
+    }
+    // Target: match the off-line algorithm's run time (Section 4.1).
+    Outcome off = offline(bench, cfg.d);
+    workload::Benchmark bm = workload::makeBenchmark(bench);
+    control::GlobalDvsResult g = control::globalDvsMatch(
+        bm.program, bm.ref, cfg.sim, cfg.power, cfg.productionWindow,
+        static_cast<Tick>(off.timePs));
+    Outcome o;
+    o.timePs = static_cast<double>(g.run.timePs);
+    o.energyNj = g.run.chipEnergyNj;
+    o.globalFreq = g.freq;
+    store(key, o);
+    o.metrics = vsBaseline(bench, o);
+    return o;
+}
+
+} // namespace mcd::exp

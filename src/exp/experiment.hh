@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Experiment harness shared by the benchmark binaries: runs each
+ * benchmark under the MCD baseline, the profile-driven pipeline, the
+ * off-line oracle, the on-line attack/decay controller and the
+ * global-DVS baseline, computing the paper's metrics (always
+ * relative to the MCD baseline, Section 4.1).
+ *
+ * Results are memoized in an optional CSV cache file keyed by
+ * benchmark/policy/parameters so that the per-figure bench binaries
+ * do not recompute shared sweeps.
+ */
+
+#ifndef MCD_EXP_EXPERIMENT_HH
+#define MCD_EXP_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+
+#include "core/pipeline.hh"
+#include "power/power.hh"
+#include "sim/processor.hh"
+#include "util/stats.hh"
+
+namespace mcd::exp
+{
+
+/** Harness configuration shared by all experiments. */
+struct ExpConfig
+{
+    sim::SimConfig sim;
+    power::PowerConfig power;
+    /** Production-run window (instructions). */
+    std::uint64_t productionWindow = 150'000;
+    /** Analysis-run window for the profile pipeline. */
+    std::uint64_t analysisWindow = 150'000;
+    /** Profiling cap for phase 1 (functional run). */
+    std::uint64_t profileMaxInstrs = 4'000'000;
+    /** Default slowdown threshold d (percent). */
+    double d = 5.0;
+    /** Off-line oracle reconfiguration interval. */
+    std::uint64_t offlineInterval = 10'000;
+    /** On-line controller aggressiveness at the default point. */
+    double onlineAggressiveness = 1.0;
+    /** CSV memo file; empty = in-memory only. */
+    std::string cacheFile;
+
+    ExpConfig()
+    {
+        // Our instruction windows are ~1000x shorter than the
+        // paper's; scale the DVFS transition rate so ramps keep a
+        // comparable (small but visible) share of a reconfigurable
+        // phase.  See EXPERIMENTS.md.
+        sim.rampNsPerMhz = 2.2;
+    }
+};
+
+/** Result of one policy run on one benchmark. */
+struct Outcome
+{
+    double timePs = 0.0;
+    double energyNj = 0.0;
+    Metrics metrics;  ///< vs the MCD baseline
+    double reconfigs = 0.0;
+    double overheadCycles = 0.0;
+    double feCycles = 0.0;
+    // profile-policy extras
+    double dynReconfigPoints = 0.0;
+    double dynInstrPoints = 0.0;
+    double staticReconfigPoints = 0.0;
+    double staticInstrPoints = 0.0;
+    double tableBytes = 0.0;
+    // global-policy extras
+    double globalFreq = 0.0;
+};
+
+/**
+ * Memoizing experiment runner.
+ */
+class Runner
+{
+  public:
+    explicit Runner(const ExpConfig &cfg = ExpConfig());
+
+    /** MCD baseline: all domains at maximum frequency. */
+    Outcome baseline(const std::string &bench);
+
+    /** Profile-driven reconfiguration (trained on the training set,
+     *  measured on the reference set). */
+    Outcome profile(const std::string &bench, core::ContextMode mode,
+                    double d);
+
+    /** Off-line perfect-knowledge oracle at threshold d. */
+    Outcome offline(const std::string &bench, double d);
+
+    /** On-line attack/decay at the given aggressiveness. */
+    Outcome online(const std::string &bench, double aggressiveness);
+
+    /** Global single-clock DVS matched to the off-line run time at
+     *  the harness's default d. */
+    Outcome global(const std::string &bench);
+
+    const ExpConfig &config() const { return cfg; }
+
+  private:
+    Outcome *lookup(const std::string &key);
+    void store(const std::string &key, const Outcome &o);
+    void loadCache();
+    void appendCache(const std::string &key, const Outcome &o);
+    Metrics vsBaseline(const std::string &bench, const Outcome &o);
+
+    ExpConfig cfg;
+    std::map<std::string, Outcome> memo;
+};
+
+} // namespace mcd::exp
+
+#endif // MCD_EXP_EXPERIMENT_HH

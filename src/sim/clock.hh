@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-domain clocks with jitter and ramped dynamic frequency/voltage
+ * scaling (Section 2 of the paper).
+ *
+ * A running program initiates reconfiguration by writing the target
+ * frequencies; the clock then ramps its effective frequency linearly
+ * at the XScale-like rate (73.3 ns/MHz) while execution continues.
+ */
+
+#ifndef MCD_SIM_CLOCK_HH
+#define MCD_SIM_CLOCK_HH
+
+#include "sim/config.hh"
+#include "util/rng.hh"
+#include "util/types.hh"
+
+namespace mcd::sim
+{
+
+/**
+ * One clock domain's clock generator.
+ *
+ * Edges are produced one at a time: nextEdge() peeks the upcoming
+ * rising edge (with jitter applied); advance() consumes it.  The
+ * effective frequency is updated at each consumed edge according to
+ * the ramp model.
+ */
+class DomainClock
+{
+  public:
+    /**
+     * @param cfg     shared configuration
+     * @param d       which domain this clock drives
+     * @param jitter  whether to apply jitter (off in single-clock mode)
+     * @param rng     jitter random stream (owned by caller semantics:
+     *                copied in)
+     */
+    DomainClock(const SimConfig &cfg, Domain d, bool jitter, Rng rng);
+
+    /** Time of the next rising edge (jittered), in ps. */
+    Tick nextEdge() const { return jitteredNext; }
+
+    /** Consume the pending edge and schedule the following one. */
+    void advance();
+
+    /** Effective frequency at the last consumed edge. */
+    Mhz freq() const { return curMhz; }
+
+    /** Supply voltage tracking the effective frequency. */
+    Volt voltage() const { return volt; }
+
+    /** Current period in ps at the effective frequency. */
+    Tick period() const { return periodPs(curMhz); }
+
+    /** Request a new target frequency (clamped to legal range). */
+    void setTarget(Mhz f);
+
+    /**
+     * Jump instantly to frequency @p f (clamped); used to establish
+     * initial conditions before simulated time begins, not during a
+     * run (real reconfigurations ramp).
+     */
+    void jumpTo(Mhz f);
+
+    Mhz target() const { return targetMhz; }
+
+    /** Number of edges consumed so far. */
+    std::uint64_t edges() const { return edgeCount; }
+
+    /**
+     * Time-weighted average frequency since construction (for
+     * reporting).
+     */
+    Mhz averageFreq() const;
+
+  private:
+    const SimConfig &cfg;
+    Domain domain;
+    bool jitterOn;
+    Rng rng;
+    Mhz curMhz;
+    Mhz targetMhz;
+    Volt volt;
+    Tick nominalNext;    ///< unjittered next edge
+    Tick jitteredNext;
+    Tick lastEdge;
+    std::uint64_t edgeCount;
+    double freqTimeIntegral;  ///< MHz * ps, for averageFreq()
+    Tick startTime;
+};
+
+/**
+ * Synchronization margin between two domains: a value produced at
+ * time t in @p src is usable in @p dst only at a dst edge at least
+ * this much later (Sjogren-Myers synchronizer; within the window the
+ * consumer waits one extra cycle).  Zero for same-domain or
+ * single-clock operation.
+ */
+Tick syncMarginPs(const SimConfig &cfg, Domain src, Domain dst,
+                  Tick src_period, Tick dst_period);
+
+} // namespace mcd::sim
+
+#endif // MCD_SIM_CLOCK_HH

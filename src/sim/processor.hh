@@ -1,0 +1,232 @@
+/**
+ * @file
+ * The cycle-level MCD out-of-order processor model.
+ *
+ * Four on-chip clock domains (front end, integer, floating point,
+ * memory) tick on independent jittered clocks; values crossing domain
+ * boundaries pay the Sjogren-Myers synchronization cost (one extra
+ * consumer cycle when produced within the synchronization window of
+ * the consuming edge).  Main memory is external and always full
+ * speed.  The microarchitecture follows Table 1 of the paper:
+ * 4-wide fetch/dispatch, 80-entry ROB, 20/15/64-entry issue queues,
+ * 72+72 physical registers, combined bimodal+PAg branch prediction,
+ * 64KB 2-way L1s, 1MB direct-mapped L2.
+ */
+
+#ifndef MCD_SIM_PROCESSOR_HH
+#define MCD_SIM_PROCESSOR_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "power/power.hh"
+#include "sim/branch.hh"
+#include "sim/cache.hh"
+#include "sim/clock.hh"
+#include "sim/config.hh"
+#include "sim/trace.hh"
+#include "workload/program.hh"
+#include "workload/stream.hh"
+
+namespace mcd::sim
+{
+
+/**
+ * Processor facade: constructs the microarchitecture, runs a
+ * workload stream under optional observation/control hooks, and
+ * reports time and energy.
+ */
+class Processor : public DvfsControl
+{
+  public:
+    /**
+     * @param cfg     architectural configuration
+     * @param pcfg    power model configuration
+     * @param program workload to execute (must outlive the processor)
+     * @param input   input set for the workload
+     */
+    Processor(const SimConfig &cfg, const power::PowerConfig &pcfg,
+              const workload::Program &program,
+              const workload::InputSet &input);
+
+    /** Install the marker handler (profile runtime / tree builder). */
+    void setMarkerHandler(MarkerHandler *h) { markerHandler = h; }
+
+    /** Install a sink for committed-instruction timing records. */
+    void setTraceSink(TraceSink *s) { traceSink = s; }
+
+    /** Install an interval controller fired every @p instrs commits. */
+    void setIntervalHook(IntervalHook *h, std::uint64_t instrs);
+
+    /** Install a precomputed frequency schedule (sorted by atInstr). */
+    void setSchedule(std::vector<SchedulePoint> sched);
+
+    /** Set initial frequencies (applied instantly, before cycle 0). */
+    void setInitialFreqs(const FreqSet &freqs);
+
+    /**
+     * Run until @p max_instrs instructions commit (or the program
+     * ends), then drain the pipeline.
+     */
+    RunResult run(std::uint64_t max_instrs);
+
+    // DvfsControl interface
+    void setTarget(Domain d, Mhz f) override;
+    Mhz freq(Domain d) const override;
+    Mhz targetFreq(Domain d) const override;
+
+    const SimConfig &config() const { return cfg; }
+
+  private:
+    /** In-flight instruction state. */
+    struct Uop
+    {
+        workload::DynInstr di;
+        std::uint64_t seq = 0;
+        std::uint32_t node = 0;
+        Domain domain = Domain::Integer;
+        bool inIq = false;
+        bool issued = false;
+        bool completed = false;   ///< result available (execDone set)
+        bool isLoad = false;
+        bool isStore = false;
+        bool l1Miss = false;
+        bool l2Miss = false;
+        bool mispredicted = false;
+        std::uint64_t depSeq1 = 0;
+        std::uint64_t depSeq2 = 0;
+        /** Edge count in the exec domain at which the result is
+         *  available; used for exact same-domain back-to-back timing
+         *  (jittered edge times make period arithmetic inexact). */
+        std::uint64_t execDoneEdge = 0;
+        Tick fetchTime = 0;
+        Tick dispatchTime = 0;
+        Tick issueTime = 0;
+        Tick execDone = 0;   ///< FU done (loads: address generation)
+        Tick memStart = 0;
+        Tick memDone = 0;    ///< loads: data return time
+    };
+
+    struct FetchEntry
+    {
+        Uop uop;
+        std::uint64_t readyFeTick = 0;
+    };
+
+    /** Retired-producer value-ready times (small ring by seq). */
+    static constexpr std::uint32_t VALUE_RING = 1024;
+    struct ValueEntry
+    {
+        std::uint64_t seq = 0;
+        Tick ready = 0;
+    };
+
+    // --- per-tick stage logic ---
+    void feTick(Tick now);
+    void fetch(Tick now);
+    void dispatch(Tick now);
+    void commit(Tick now);
+    void execTick(Domain d, Tick now);
+    bool tryIssue(Domain d, Tick now, std::uint64_t seq);
+
+    Uop *findUop(std::uint64_t seq);
+    const Uop *findUop(std::uint64_t seq) const;
+    /** Operand readiness: ready time as seen from domain @p d. */
+    bool operandReady(std::uint64_t producer_seq, Domain d,
+                      Tick now) const;
+    Tick syncMargin(Domain src, Domain dst) const;
+    DomainClock &clock(Domain d) { return *clocks[static_cast<int>(d)]; }
+    const DomainClock &clock(Domain d) const
+    {
+        return *clocks[static_cast<int>(d)];
+    }
+    void chargeLeakage(Tick now);
+    void applyMarker(const MarkerAction &a, Tick now);
+    bool streamFetchBlocked(Tick now);
+
+    // --- configuration ---
+    SimConfig cfg;
+    const workload::Program &program;
+    workload::InputSet input;
+
+    // --- components ---
+    std::array<std::unique_ptr<DomainClock>, NUM_SCALED_DOMAINS> clocks;
+    power::PowerModel power_;
+    Cache l1i;
+    Cache l1d;
+    Cache l2;
+    MainMemory memory;
+    BranchPredictor bpred;
+    workload::Stream stream;
+
+    // --- hooks ---
+    MarkerHandler *markerHandler = nullptr;
+    TraceSink *traceSink = nullptr;
+    IntervalHook *intervalHook = nullptr;
+    std::uint64_t intervalInstrs = 0;
+    std::vector<SchedulePoint> schedule;
+    std::size_t schedulePos = 0;
+
+    // --- pipeline state ---
+    std::deque<Uop> rob;
+    std::deque<FetchEntry> fetchQueue;
+    std::array<std::vector<std::uint64_t>, NUM_SCALED_DOMAINS> iq;
+    std::array<ValueEntry, VALUE_RING> valueRing{};
+    std::vector<std::uint64_t> producerRing;  ///< recent producer seqs
+    std::size_t producerHead = 0;
+    std::uint64_t producerCount = 0;
+    std::deque<std::uint64_t> storeSeqs;  ///< in-flight stores (age order)
+    int intRegsFree = 0;
+    int fpRegsFree = 0;
+
+    // FU occupancy
+    std::vector<Tick> intAluBusy;
+    std::vector<Tick> intMulBusy;
+    std::vector<Tick> fpAluBusy;
+    std::vector<Tick> fpMulBusy;
+    std::vector<Tick> memPortBusy;
+
+    // fetch state
+    bool streamEnded = false;
+    bool haveHoldover = false;
+    workload::StreamItem holdover;
+    Tick fetchStallUntil = 0;       ///< instrumentation stalls
+    Tick icacheBlockedUntil = 0;
+    std::uint64_t blockedBranchSeq = 0;  ///< mispredict in flight
+    Tick redirectAt = 0;
+    std::uint64_t lastFetchLine = ~0ULL;
+    std::uint64_t feTickCount = 0;
+    std::uint64_t fetchedInstrs = 0;
+    std::uint64_t nextSeq = 1;
+    std::uint64_t maxInstrs_ = 0;
+
+    // leakage bookkeeping
+    Tick lastLeakTime = 0;
+
+    // interval accounting
+    std::array<double, NUM_SCALED_DOMAINS> occSum{};
+    std::array<std::uint64_t, NUM_SCALED_DOMAINS> occSamples{};
+    double robOccSum = 0.0;
+    std::uint64_t intervalStartInstrs = 0;
+    Tick intervalStartTime = 0;
+    std::uint64_t intervalStartFeCycles = 0;
+
+    // stats
+    std::uint64_t committedInstrs = 0;
+    Tick lastCommitTime = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t l1dAccessCount = 0;
+    std::uint64_t l1dMissCount = 0;
+    std::uint64_t l2MissCount = 0;
+    std::uint64_t icacheMissCount = 0;
+    std::uint64_t reconfigCount = 0;
+    std::uint64_t overheadCycleCount = 0;
+};
+
+} // namespace mcd::sim
+
+#endif // MCD_SIM_PROCESSOR_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting helpers.
+ *
+ * fatal() is for user errors (bad configuration); panic() is for
+ * internal invariant violations.  Both terminate.  warn()/inform() are
+ * purely informational.
+ */
+
+#ifndef MCD_UTIL_LOGGING_HH
+#define MCD_UTIL_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mcd
+{
+
+/** Render a printf-style format string to a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a user-level error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal invariant violation and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a recoverable anomaly. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace mcd
+
+#endif // MCD_UTIL_LOGGING_HH

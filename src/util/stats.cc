@@ -1,0 +1,34 @@
+#include "util/stats.hh"
+
+namespace mcd
+{
+
+void
+Summary::add(double v)
+{
+    ++n;
+    sum += v;
+    if (v < lo)
+        lo = v;
+    if (v > hi)
+        hi = v;
+}
+
+Metrics
+computeMetrics(double time_ps, double energy_nj,
+               double base_time_ps, double base_energy_nj)
+{
+    Metrics m;
+    if (base_time_ps > 0.0)
+        m.slowdownPct = (time_ps - base_time_ps) / base_time_ps * 100.0;
+    if (base_energy_nj > 0.0)
+        m.energySavingsPct =
+            (base_energy_nj - energy_nj) / base_energy_nj * 100.0;
+    double base_ed = base_time_ps * base_energy_nj;
+    if (base_ed > 0.0)
+        m.energyDelayImprovementPct =
+            (1.0 - (time_ps * energy_nj) / base_ed) * 100.0;
+    return m;
+}
+
+} // namespace mcd

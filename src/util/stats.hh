@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Small statistics helpers: running summaries and percentage metrics.
+ */
+
+#ifndef MCD_UTIL_STATS_HH
+#define MCD_UTIL_STATS_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mcd
+{
+
+/**
+ * Running min/max/mean accumulator.
+ */
+class Summary
+{
+  public:
+    Summary() = default;
+
+    /** Record one sample. */
+    void add(double v);
+
+    std::uint64_t count() const { return n; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    double total() const { return sum; }
+
+  private:
+    std::uint64_t n = 0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    double sum = 0.0;
+};
+
+/**
+ * Percentage change metrics used throughout the evaluation, all
+ * relative to the MCD baseline run (Section 4.1).
+ */
+struct Metrics
+{
+    /** (T - T_base) / T_base * 100. */
+    double slowdownPct = 0.0;
+    /** (E_base - E) / E_base * 100. */
+    double energySavingsPct = 0.0;
+    /** (1 - E*T / (E_base*T_base)) * 100. */
+    double energyDelayImprovementPct = 0.0;
+};
+
+/**
+ * Compute the paper's three headline metrics from absolute
+ * time/energy of a run and of the baseline run.
+ *
+ * @param time_ps     run time of the evaluated configuration
+ * @param energy_nj   energy of the evaluated configuration
+ * @param base_time_ps   baseline run time
+ * @param base_energy_nj baseline energy
+ */
+Metrics computeMetrics(double time_ps, double energy_nj,
+                       double base_time_ps, double base_energy_nj);
+
+} // namespace mcd
+
+#endif // MCD_UTIL_STATS_HH

@@ -1,0 +1,85 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace mcd
+{
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    head = std::move(cells);
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::separator()
+{
+    rows.emplace_back();
+}
+
+std::string
+TextTable::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return std::string(buf);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    size_t ncols = head.size();
+    for (const auto &r : rows)
+        ncols = std::max(ncols, r.size());
+    std::vector<size_t> width(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    measure(head);
+    for (const auto &r : rows)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < ncols; ++i) {
+            const std::string cell = i < r.size() ? r[i] : "";
+            if (i == 0) {
+                os << cell
+                   << std::string(width[i] - cell.size(), ' ');
+            } else {
+                os << "  "
+                   << std::string(width[i] - cell.size(), ' ')
+                   << cell;
+            }
+        }
+        os << '\n';
+    };
+
+    if (!head.empty()) {
+        emit(head);
+        size_t total = 0;
+        for (size_t i = 0; i < ncols; ++i)
+            total += width[i] + (i ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows) {
+        if (r.empty()) {
+            size_t total = 0;
+            for (size_t i = 0; i < ncols; ++i)
+                total += width[i] + (i ? 2 : 0);
+            os << std::string(total, '-') << '\n';
+        } else {
+            emit(r);
+        }
+    }
+}
+
+} // namespace mcd

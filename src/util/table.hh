@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ASCII table writer used by the benchmark harnesses to print the
+ * paper's tables and figure series in a readable form.
+ */
+
+#ifndef MCD_UTIL_TABLE_HH
+#define MCD_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcd
+{
+
+/**
+ * Simple left/right aligned text table.
+ *
+ * The first column is left-aligned (row label); remaining columns are
+ * right-aligned.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (cells may be fewer than header cells). */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Render to a stream with column alignment. */
+    void print(std::ostream &os) const;
+
+    /** Convenience: format a double with @p prec decimals. */
+    static std::string num(double v, int prec = 2);
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;  // empty row = separator
+};
+
+} // namespace mcd
+
+#endif // MCD_UTIL_TABLE_HH

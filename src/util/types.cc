@@ -1,0 +1,19 @@
+#include "util/types.hh"
+
+namespace mcd
+{
+
+const char *
+domainName(Domain d)
+{
+    switch (d) {
+      case Domain::FrontEnd: return "fe";
+      case Domain::Integer: return "int";
+      case Domain::FloatingPoint: return "fp";
+      case Domain::Memory: return "mem";
+      case Domain::External: return "ext";
+    }
+    return "?";
+}
+
+} // namespace mcd

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the MCD-DVFS libraries.
+ *
+ * Simulated time is kept in integer picoseconds so that clock-edge
+ * arithmetic across asynchronous domains stays exact.  Frequencies are
+ * kept in MHz as doubles (the DVFS model ramps them continuously).
+ */
+
+#ifndef MCD_UTIL_TYPES_HH
+#define MCD_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace mcd
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Picoseconds per common time units. */
+constexpr Tick PS_PER_NS = 1000;
+constexpr Tick PS_PER_US = 1000 * 1000;
+
+/** Clock frequency in MHz. */
+using Mhz = double;
+
+/** Supply voltage in volts. */
+using Volt = double;
+
+/**
+ * Convert a frequency in MHz to a clock period in picoseconds
+ * (rounded to the nearest picosecond).
+ *
+ * @param mhz frequency; must be positive.
+ */
+constexpr Tick
+periodPs(Mhz mhz)
+{
+    return static_cast<Tick>(1e6 / mhz + 0.5);
+}
+
+/**
+ * The on-chip clock domains of the MCD processor, plus the external
+ * main-memory "domain" which always runs at full speed (Section 2 of
+ * the paper).
+ */
+enum class Domain : std::uint8_t
+{
+    FrontEnd = 0,   ///< fetch, rename, dispatch, ROB, L1 I-cache
+    Integer = 1,    ///< integer issue queue, ALUs, register file
+    FloatingPoint = 2, ///< FP issue queue, ALUs, register file
+    Memory = 3,     ///< load/store unit, L1 D-cache, unified L2
+    External = 4,   ///< main memory; not voltage scaled
+};
+
+/** Number of on-chip, voltage-scalable domains. */
+constexpr int NUM_SCALED_DOMAINS = 4;
+/** Number of domains including external memory. */
+constexpr int NUM_DOMAINS = 5;
+
+/** Short human-readable domain name ("fe", "int", "fp", "mem", "ext"). */
+const char *domainName(Domain d);
+
+} // namespace mcd
+
+#endif // MCD_UTIL_TYPES_HH

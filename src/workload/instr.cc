@@ -1,0 +1,58 @@
+#include "workload/instr.hh"
+
+namespace mcd::workload
+{
+
+const char *
+instrClassName(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::IntAlu: return "ialu";
+      case InstrClass::IntMul: return "imul";
+      case InstrClass::IntDiv: return "idiv";
+      case InstrClass::FpAdd: return "fadd";
+      case InstrClass::FpMul: return "fmul";
+      case InstrClass::FpDiv: return "fdiv";
+      case InstrClass::FpSqrt: return "fsqrt";
+      case InstrClass::Load: return "load";
+      case InstrClass::Store: return "store";
+      case InstrClass::Branch: return "branch";
+      default: return "?";
+    }
+}
+
+Domain
+execDomain(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::IntAlu:
+      case InstrClass::IntMul:
+      case InstrClass::IntDiv:
+      case InstrClass::Branch:
+        return Domain::Integer;
+      case InstrClass::FpAdd:
+      case InstrClass::FpMul:
+      case InstrClass::FpDiv:
+      case InstrClass::FpSqrt:
+        return Domain::FloatingPoint;
+      case InstrClass::Load:
+      case InstrClass::Store:
+        return Domain::Memory;
+      default:
+        return Domain::Integer;
+    }
+}
+
+bool
+producesValue(InstrClass c)
+{
+    switch (c) {
+      case InstrClass::Store:
+      case InstrClass::Branch:
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace mcd::workload

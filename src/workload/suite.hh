@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The 19-benchmark synthetic suite standing in for MediaBench and
+ * SPEC CPU2000 (Table 2 of the paper).
+ *
+ * Each benchmark is a structured Program plus a training and a
+ * reference InputSet.  Programs encode the phase structure, domain
+ * imbalance and training/reference divergences that the paper's
+ * evaluation depends on; see DESIGN.md §6 for the per-benchmark
+ * behaviours and the substitution rationale.
+ */
+
+#ifndef MCD_WORKLOAD_SUITE_HH
+#define MCD_WORKLOAD_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/program.hh"
+
+namespace mcd::workload
+{
+
+/** A benchmark: program + training and reference inputs. */
+struct Benchmark
+{
+    Program program;
+    InputSet train;
+    InputSet ref;
+};
+
+/** Names of all 19 benchmarks, in the paper's order. */
+const std::vector<std::string> &suiteNames();
+
+/** Construct a benchmark by name. Fatal on unknown name. */
+Benchmark makeBenchmark(const std::string &name);
+
+/** True if @p name is one of the suite benchmarks. */
+bool isSuiteBenchmark(const std::string &name);
+
+} // namespace mcd::workload
+
+#endif // MCD_WORKLOAD_SUITE_HH

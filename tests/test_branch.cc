@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the combined bimodal + PAg branch predictor and BTB.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/branch.hh"
+
+using namespace mcd::sim;
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp;
+    std::uint64_t pc = 0x4000;
+    for (int i = 0; i < 8; ++i)
+        bp.update(pc, true, pc + 64);
+    auto p = bp.predict(pc);
+    EXPECT_TRUE(p.taken);
+    EXPECT_TRUE(p.btbHit);
+    EXPECT_EQ(p.target, pc + 64);
+}
+
+TEST(BranchPredictor, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp;
+    std::uint64_t pc = 0x5000;
+    for (int i = 0; i < 8; ++i)
+        bp.update(pc, false, 0);
+    EXPECT_FALSE(bp.predict(pc).taken);
+}
+
+TEST(BranchPredictor, PagLearnsAlternatingPattern)
+{
+    BranchPredictor bp;
+    std::uint64_t pc = 0x6000;
+    // T N T N ... : bimodal is ~50% but PAg locks on via history.
+    bool t = false;
+    for (int i = 0; i < 400; ++i) {
+        t = !t;
+        bp.update(pc, t, pc + 32);
+    }
+    int correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        t = !t;
+        if (bp.predict(pc).taken == t)
+            ++correct;
+        bp.update(pc, t, pc + 32);
+    }
+    EXPECT_GE(correct, 95);
+}
+
+TEST(BranchPredictor, LoopExitPatternLearned)
+{
+    BranchPredictor bp;
+    std::uint64_t pc = 0x7000;
+    // 7 taken then 1 not-taken, repeated (8-iteration loop).
+    for (int rep = 0; rep < 60; ++rep)
+        for (int i = 0; i < 8; ++i)
+            bp.update(pc, i != 7, pc + 16);
+    int correct = 0, total = 0;
+    for (int rep = 0; rep < 10; ++rep) {
+        for (int i = 0; i < 8; ++i) {
+            bool actual = i != 7;
+            if (bp.predict(pc).taken == actual)
+                ++correct;
+            bp.update(pc, actual, pc + 16);
+            ++total;
+        }
+    }
+    EXPECT_GE(correct * 100 / total, 85);
+}
+
+TEST(BranchPredictor, BtbMissUntilTrained)
+{
+    BranchPredictor bp;
+    EXPECT_FALSE(bp.predict(0x8000).btbHit);
+    bp.update(0x8000, true, 0x9000);
+    auto p = bp.predict(0x8000);
+    EXPECT_TRUE(p.btbHit);
+    EXPECT_EQ(p.target, 0x9000u);
+}
+
+TEST(BranchPredictor, BtbNotInstalledOnNotTaken)
+{
+    BranchPredictor bp;
+    bp.update(0xA000, false, 0);
+    EXPECT_FALSE(bp.predict(0xA000).btbHit);
+}
+
+TEST(BranchPredictor, DistinctBranchesIndependent)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 8; ++i) {
+        bp.update(0x1000, true, 0x2000);
+        bp.update(0x1400, false, 0);
+    }
+    EXPECT_TRUE(bp.predict(0x1000).taken);
+    EXPECT_FALSE(bp.predict(0x1400).taken);
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Application-editor tests: instrumentation/reconfiguration point
+ * selection (the paper's Figure 3 rule: nodes on paths to
+ * long-running nodes are instrumented, long-running nodes also
+ * reconfigure), L+F/F static settings, table sizing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/editor.hh"
+#include "core/profiler.hh"
+#include "workload/program.hh"
+
+using namespace mcd;
+using namespace mcd::core;
+using namespace mcd::workload;
+
+namespace
+{
+
+/**
+ * deep: main -> mid -> hot (hot is long-running); cold is a sibling
+ * subtree with no long-running nodes.
+ */
+struct Fixture
+{
+    Program program;
+    CallTree tree{ContextMode::LFCP};
+    std::map<std::uint32_t, sim::FreqSet> freqs;
+
+    explicit Fixture(ContextMode mode)
+        : tree(mode)
+    {
+        ProgramBuilder b("editor");
+        InstructionMix m;
+        MixId mx = b.mix(m);
+        b.func("hot");
+        b.loop(500, 0.0, [&] { b.block(mx, 40); });
+        b.func("mid");
+        b.block(mx, 30);
+        b.call("hot");
+        b.func("cold");
+        b.block(mx, 60);
+        b.func("main");
+        b.loop(3, 0.0, [&] {
+            b.call("mid");
+            b.call("cold");
+        });
+        program = b.build("main");
+        tree = profileProgram(program, InputSet{}, mode,
+                              ProfileConfig());
+        for (auto id : tree.longRunningIds())
+            freqs[id] = {500.0, 500.0, 250.0, 750.0};
+    }
+};
+
+} // namespace
+
+TEST(Editor, PathModeInstrumentsAncestorsOnly)
+{
+    Fixture fx(ContextMode::LFCP);
+    auto plan = buildPlan(fx.tree, fx.freqs, ContextMode::LFCP);
+    const Function *hot = fx.program.findFunction("hot");
+    const Function *mid = fx.program.findFunction("mid");
+    const Function *cold = fx.program.findFunction("cold");
+    const Function *main_fn = fx.program.findFunction("main");
+    EXPECT_TRUE(plan.instrumentedFuncs.count(hot->id));
+    EXPECT_TRUE(plan.instrumentedFuncs.count(mid->id));
+    EXPECT_TRUE(plan.instrumentedFuncs.count(main_fn->id));
+    EXPECT_FALSE(plan.instrumentedFuncs.count(cold->id))
+        << "subtrees without long-running nodes are untouched";
+}
+
+TEST(Editor, ReconfigurationPointsAreLongRunningEntities)
+{
+    Fixture fx(ContextMode::LFCP);
+    auto plan = buildPlan(fx.tree, fx.freqs, ContextMode::LFCP);
+    // hot's loop (and possibly hot itself) are the long-running
+    // entities; reconfig points must be fewer than instr points.
+    EXPECT_GT(plan.staticReconfigPoints, 0);
+    EXPECT_LT(plan.staticReconfigPoints, plan.staticInstrPoints);
+}
+
+TEST(Editor, StaticModesHaveNoTrackingInstrumentation)
+{
+    Fixture fx(ContextMode::LF);
+    auto plan = buildPlan(fx.tree, fx.freqs, ContextMode::LF);
+    EXPECT_TRUE(plan.instrumentedFuncs.empty());
+    EXPECT_TRUE(plan.instrumentedLoops.empty());
+    EXPECT_TRUE(plan.instrumentedSites.empty());
+    // Every instrumentation point is a reconfiguration point.
+    EXPECT_EQ(plan.staticInstrPoints, plan.staticReconfigPoints);
+    EXPECT_GT(plan.staticReconfigPoints, 0);
+    EXPECT_EQ(plan.nextNodeTableBytes, 0u);
+}
+
+TEST(Editor, StaticFrequenciesAreWeightedAverages)
+{
+    Fixture fx(ContextMode::LF);
+    // Two long-running nodes of the same entity with different
+    // frequencies: construct artificially.
+    auto ids = fx.tree.longRunningIds();
+    ASSERT_FALSE(ids.empty());
+    auto plan = buildPlan(fx.tree, fx.freqs, ContextMode::LF);
+    // The single loop entity's static setting equals the node's.
+    ASSERT_FALSE(plan.staticLoopFreqs.empty());
+    const auto &f = plan.staticLoopFreqs.begin()->second;
+    EXPECT_DOUBLE_EQ(f[0], 500.0);
+    EXPECT_DOUBLE_EQ(f[2], 250.0);
+}
+
+TEST(Editor, FModeIgnoresLoops)
+{
+    Fixture fx(ContextMode::F);
+    auto plan = buildPlan(fx.tree, fx.freqs, ContextMode::F);
+    EXPECT_TRUE(plan.staticLoopFreqs.empty());
+    // hot (the function) carries the reconfiguration instead.
+    EXPECT_FALSE(plan.staticFuncFreqs.empty());
+}
+
+TEST(Editor, TableSizesScaleWithTree)
+{
+    Fixture fx(ContextMode::LFCP);
+    auto plan = buildPlan(fx.tree, fx.freqs, ContextMode::LFCP);
+    std::size_t n = fx.tree.size();
+    std::size_t s = plan.instrumentedFuncs.size();
+    EXPECT_EQ(plan.nextNodeTableBytes, (n + 1) * (s + 1) * 2);
+    EXPECT_EQ(plan.freqTableBytes, (n + 1) * 8);
+}
+
+TEST(Editor, SiteInstrumentationOnlyInCModes)
+{
+    Fixture fcp(ContextMode::FCP);
+    auto plan_c = buildPlan(fcp.tree, fcp.freqs, ContextMode::FCP);
+    EXPECT_FALSE(plan_c.instrumentedSites.empty());
+
+    Fixture fp(ContextMode::FP);
+    auto plan_p = buildPlan(fp.tree, fp.freqs, ContextMode::FP);
+    EXPECT_TRUE(plan_p.instrumentedSites.empty());
+}

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the cycle-level MCD processor: progress, plausibility,
+ * frequency-scaling effects, synchronization penalties, trace
+ * well-formedness, schedules and interval hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/processor.hh"
+#include "workload/suite.hh"
+
+using namespace mcd;
+using namespace mcd::sim;
+using namespace mcd::workload;
+
+namespace
+{
+
+Program
+simpleProgram(double load_frac = 0.2, double fp_frac = 0.0)
+{
+    ProgramBuilder b("simple");
+    InstructionMix m;
+    m.set(InstrClass::Load, load_frac)
+        .set(InstrClass::FpAdd, fp_frac)
+        .branches(0.1, 0.02)
+        .mem(16 * 1024, 0.9);
+    MixId mx = b.mix(m);
+    b.func("main");
+    b.loop(400, 0.0, [&] { b.block(mx, 50); });
+    return b.build("main");
+}
+
+RunResult
+runSimple(const SimConfig &cfg, std::uint64_t n = 20000,
+          double load_frac = 0.2, double fp_frac = 0.0)
+{
+    Program p = simpleProgram(load_frac, fp_frac);
+    InputSet in;
+    power::PowerConfig pcfg;
+    Processor proc(cfg, pcfg, p, in);
+    return proc.run(n);
+}
+
+} // namespace
+
+TEST(Processor, RunsToCompletionWithPlausibleIpc)
+{
+    SimConfig cfg;
+    RunResult r = runSimple(cfg);
+    EXPECT_EQ(r.instrs, 20000u);
+    EXPECT_GT(r.timePs, 0u);
+    EXPECT_GT(r.chipEnergyNj, 0.0);
+    EXPECT_GT(r.ipc, 0.3);
+    EXPECT_LT(r.ipc, 4.0);
+}
+
+TEST(Processor, DeterministicAcrossRuns)
+{
+    SimConfig cfg;
+    RunResult a = runSimple(cfg);
+    RunResult b = runSimple(cfg);
+    EXPECT_EQ(a.timePs, b.timePs);
+    EXPECT_DOUBLE_EQ(a.chipEnergyNj, b.chipEnergyNj);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+}
+
+TEST(Processor, SlowerDomainFrequencyIncreasesRuntime)
+{
+    SimConfig cfg;
+    Program p = simpleProgram();
+    InputSet in;
+    power::PowerConfig pcfg;
+
+    Processor fast(cfg, pcfg, p, in);
+    RunResult rf = fast.run(20000);
+
+    Processor slow(cfg, pcfg, p, in);
+    slow.setInitialFreqs({1000.0, 250.0, 1000.0, 1000.0});
+    RunResult rs = slow.run(20000);
+
+    // Integer-heavy workload: quartering the integer domain clock
+    // must slow execution substantially (well below 4x: the 4-wide
+    // issue width has slack at IPC ~1.5).
+    EXPECT_GT(rs.timePs, rf.timePs * 13 / 10);
+}
+
+TEST(Processor, IdleFpDomainScalingBarelyAffectsIntWorkload)
+{
+    SimConfig cfg;
+    Program p = simpleProgram(0.2, 0.0);  // no FP at all
+    InputSet in;
+    power::PowerConfig pcfg;
+
+    Processor fast(cfg, pcfg, p, in);
+    RunResult rf = fast.run(20000);
+
+    Processor slow(cfg, pcfg, p, in);
+    slow.setInitialFreqs({1000.0, 1000.0, 250.0, 1000.0});
+    RunResult rs = slow.run(20000);
+
+    double slowdown =
+        (static_cast<double>(rs.timePs) - static_cast<double>(rf.timePs)) /
+        static_cast<double>(rf.timePs);
+    EXPECT_LT(slowdown, 0.02);
+    // ... and saves energy.
+    EXPECT_LT(rs.chipEnergyNj, rf.chipEnergyNj);
+}
+
+TEST(Processor, LowVoltageRunSavesEnergy)
+{
+    SimConfig cfg;
+    Program p = simpleProgram();
+    InputSet in;
+    power::PowerConfig pcfg;
+
+    Processor fast(cfg, pcfg, p, in);
+    RunResult rf = fast.run(20000);
+
+    Processor slow(cfg, pcfg, p, in);
+    slow.setInitialFreqs({500.0, 500.0, 500.0, 500.0});
+    RunResult rs = slow.run(20000);
+
+    EXPECT_GT(rs.timePs, rf.timePs);
+    EXPECT_LT(rs.chipEnergyNj, rf.chipEnergyNj * 0.8);
+}
+
+TEST(Processor, SingleClockSlightlyFasterThanMcd)
+{
+    // The MCD synchronization penalty (paper: ~1.3% mean) must be
+    // positive but small at equal frequencies.
+    SimConfig mcd_cfg;
+    SimConfig sc_cfg;
+    sc_cfg.singleClock = true;
+
+    RunResult mcd_r = runSimple(mcd_cfg, 30000);
+    RunResult sc_r = runSimple(sc_cfg, 30000);
+
+    double penalty =
+        (static_cast<double>(mcd_r.timePs) -
+         static_cast<double>(sc_r.timePs)) /
+        static_cast<double>(sc_r.timePs);
+    // Our substrate is more latency-sensitive than the authors'
+    // (paper: 1.3% mean, 3.6% max; see EXPERIMENTS.md), but the
+    // penalty must stay positive and moderate.
+    EXPECT_GT(penalty, 0.0);
+    EXPECT_LT(penalty, 0.15);
+}
+
+TEST(Processor, MemoryBoundWorkloadMissesInCaches)
+{
+    SimConfig cfg;
+    ProgramBuilder b("membound");
+    InstructionMix m;
+    m.set(InstrClass::Load, 0.35).mem(16 * 1024 * 1024, 0.05);
+    m.branches(0.05, 0.02);
+    MixId mx = b.mix(m);
+    b.func("main");
+    b.loop(200, 0.0, [&] { b.block(mx, 100); });
+    Program p = b.build("main");
+    InputSet in;
+    power::PowerConfig pcfg;
+    Processor proc(cfg, pcfg, p, in);
+    RunResult r = proc.run(15000);
+    EXPECT_GT(r.l1dMisses * 10, r.l1dAccesses)
+        << "expected >10% miss rate on 16MB random working set";
+    EXPECT_GT(r.dramAccesses, 100u);
+    EXPECT_LT(r.ipc, 1.0);
+}
+
+TEST(Processor, BranchyCodeHasMispredicts)
+{
+    SimConfig cfg;
+    ProgramBuilder b("branchy");
+    InstructionMix m;
+    m.branches(0.3, 0.35);
+    MixId mx = b.mix(m);
+    b.func("main");
+    b.loop(100, 0.0, [&] { b.block(mx, 120); });
+    Program p = b.build("main");
+    InputSet in;
+    power::PowerConfig pcfg;
+    Processor proc(cfg, pcfg, p, in);
+    RunResult r = proc.run(10000);
+    EXPECT_GT(r.branches, 1000u);
+    EXPECT_GT(r.mispredicts, r.branches / 50);
+    EXPECT_LT(r.mispredicts, r.branches / 2);
+}
+
+namespace
+{
+
+class CollectingSink : public TraceSink
+{
+  public:
+    void onInstr(const InstrTiming &t) override { items.push_back(t); }
+    std::vector<InstrTiming> items;
+};
+
+} // namespace
+
+TEST(Processor, TraceIsWellFormed)
+{
+    SimConfig cfg;
+    Program p = simpleProgram(0.25, 0.1);
+    InputSet in;
+    power::PowerConfig pcfg;
+    Processor proc(cfg, pcfg, p, in);
+    CollectingSink sink;
+    proc.setTraceSink(&sink);
+    RunResult r = proc.run(8000);
+    ASSERT_EQ(sink.items.size(), r.instrs);
+
+    std::uint64_t prev_seq = 0;
+    Tick prev_commit = 0;
+    for (const auto &t : sink.items) {
+        // Committed in sequence order (in-order retirement).
+        EXPECT_EQ(t.seq, prev_seq + 1);
+        prev_seq = t.seq;
+        EXPECT_GE(t.commit, prev_commit);
+        prev_commit = t.commit;
+        // Stage timestamps are monotone within the instruction.
+        EXPECT_LE(t.fetch, t.dispatch);
+        EXPECT_LE(t.dispatch, t.issue);
+        EXPECT_LE(t.issue, t.execDone);
+        EXPECT_LE(t.execDone, t.commit);
+        if (t.cls == InstrClass::Load) {
+            EXPECT_LE(t.memStart, t.memDone);
+            EXPECT_LE(t.memDone, t.commit);
+        }
+        // Dependences reference older instructions only.
+        EXPECT_LT(t.dep1, t.seq);
+        EXPECT_LT(t.dep2, t.seq);
+    }
+}
+
+TEST(Processor, ScheduleAppliesFrequencies)
+{
+    SimConfig cfg;
+    Program p = simpleProgram();
+    InputSet in;
+    power::PowerConfig pcfg;
+    Processor proc(cfg, pcfg, p, in);
+    std::vector<SchedulePoint> sched;
+    SchedulePoint pt;
+    pt.atInstr = 1;
+    pt.freqs = {250.0, 250.0, 250.0, 250.0};
+    sched.push_back(pt);
+    proc.setSchedule(sched);
+    RunResult r = proc.run(20000);
+    EXPECT_EQ(r.reconfigs, 1u);
+    // Average frequencies must have moved well below max.
+    EXPECT_LT(r.avgFreq[0], 950.0);
+}
+
+namespace
+{
+
+class CountingHook : public IntervalHook
+{
+  public:
+    void onInterval(const IntervalStats &s, DvfsControl &ctl) override
+    {
+        ++calls;
+        lastOcc = s.queueOcc;
+        instrs += s.instrs;
+        ctl.setTarget(Domain::FloatingPoint, 250.0);
+    }
+    int calls = 0;
+    std::uint64_t instrs = 0;
+    std::array<double, NUM_SCALED_DOMAINS> lastOcc{};
+};
+
+} // namespace
+
+TEST(Processor, IntervalHookFiresAndControls)
+{
+    SimConfig cfg;
+    Program p = simpleProgram();
+    InputSet in;
+    power::PowerConfig pcfg;
+    Processor proc(cfg, pcfg, p, in);
+    CountingHook hook;
+    proc.setIntervalHook(&hook, 2000);
+    RunResult r = proc.run(20000);
+    EXPECT_GE(hook.calls, 9);
+    EXPECT_LE(hook.calls, 10);
+    EXPECT_EQ(hook.instrs, hook.calls * 2000u);
+    // The hook drove the FP domain down; avg freq reflects it.
+    EXPECT_LT(r.avgFreq[static_cast<size_t>(Domain::FloatingPoint)],
+              990.0);
+}
+
+TEST(Processor, SuiteBenchmarkRunsEndToEnd)
+{
+    SimConfig cfg;
+    Benchmark bm = makeBenchmark("gsm_decode");
+    power::PowerConfig pcfg;
+    Processor proc(cfg, pcfg, bm.program, bm.train);
+    RunResult r = proc.run(50000);
+    EXPECT_EQ(r.instrs, 50000u);
+    EXPECT_GT(r.ipc, 0.2);
+}

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Instrumentation-runtime tests: reconfiguration on long-running
+ * node entry, register save/restore at exit, label-0 behaviour on
+ * untrained paths, overhead charging, dynamic counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/editor.hh"
+#include "core/profiler.hh"
+#include "core/runtime.hh"
+#include "workload/stream.hh"
+
+using namespace mcd;
+using namespace mcd::core;
+using namespace mcd::workload;
+
+namespace
+{
+
+struct Fixture
+{
+    Program program;
+    CallTree tree{ContextMode::LF};
+    InstrumentationPlan plan;
+
+    explicit Fixture(ContextMode mode, double rare_prob_train = 0.0)
+    {
+        ProgramBuilder b("rt");
+        InstructionMix m;
+        MixId mx = b.mix(m);
+        b.func("hot");
+        b.loop(500, 0.0, [&] { b.block(mx, 40); });
+        b.func("rare");
+        b.call("hot");
+        b.func("main");
+        b.loop(4, 0.0, [&] {
+            b.call("hot");
+            b.call("rare", 0, 1.0, "rare_on");
+        });
+        program = b.build("main");
+        InputSet train;
+        train.with("rare_on", rare_prob_train);
+        tree = profileProgram(program, train, mode, ProfileConfig());
+        std::map<std::uint32_t, sim::FreqSet> freqs;
+        for (auto id : tree.longRunningIds())
+            freqs[id] = {600.0, 550.0, 250.0, 700.0};
+        plan = buildPlan(tree, freqs, mode);
+    }
+};
+
+/** Drive a runtime over a stream; collect reconfig actions. */
+struct Driver
+{
+    std::vector<sim::MarkerAction> reconfigs;
+    std::uint64_t stall_cycles = 0;
+
+    void
+    run(ProfileRuntime &rt, const Program &p, const InputSet &in)
+    {
+        Stream s(p, in);
+        StreamItem item;
+        while (s.next(item)) {
+            if (item.kind != StreamItem::Kind::Marker)
+                continue;
+            auto a = rt.onMarker(item.marker);
+            stall_cycles += a.stallCycles;
+            if (a.reconfig)
+                reconfigs.push_back(a);
+        }
+    }
+};
+
+} // namespace
+
+TEST(Runtime, PathModeReconfiguresOnTrainedNodes)
+{
+    Fixture fx(ContextMode::LFP);
+    ProfileRuntime rt(fx.tree, fx.plan);
+    Driver d;
+    InputSet in;
+    in.with("rare_on", 0.0);
+    d.run(rt, fx.program, in);
+    EXPECT_FALSE(d.reconfigs.empty());
+    EXPECT_GT(rt.stats().dynInstrPoints, 0u);
+    EXPECT_GT(rt.stats().dynReconfigPoints, 0u);
+    // Entry writes the trained values.
+    EXPECT_DOUBLE_EQ(d.reconfigs.front().freqs[2], 250.0);
+}
+
+TEST(Runtime, ExitRestoresSavedRegister)
+{
+    Fixture fx(ContextMode::LFP);
+    ProfileRuntime rt(fx.tree, fx.plan);
+    Driver d;
+    InputSet in;
+    in.with("rare_on", 0.0);
+    d.run(rt, fx.program, in);
+    ASSERT_GE(d.reconfigs.size(), 2u);
+    // Reconfigurations alternate set/restore; the final restore
+    // returns the register to the initial full-speed value.
+    const auto &last = d.reconfigs.back();
+    EXPECT_DOUBLE_EQ(last.freqs[0], 1000.0);
+    EXPECT_DOUBLE_EQ(last.freqs[2], 1000.0);
+}
+
+TEST(Runtime, UntrainedPathDoesNotReconfigure)
+{
+    // Train without the rare path; produce with it.  Path-tracking
+    // modes must not reconfigure along main>rare>hot.
+    Fixture fx(ContextMode::LFP, 0.0);
+    ProfileRuntime rt(fx.tree, fx.plan);
+    Driver d;
+    InputSet with_rare;
+    with_rare.with("rare_on", 1.0);
+    d.run(rt, fx.program, with_rare);
+
+    Fixture fx2(ContextMode::LFP, 0.0);
+    ProfileRuntime rt2(fx2.tree, fx2.plan);
+    Driver d2;
+    InputSet without_rare;
+    without_rare.with("rare_on", 0.0);
+    d2.run(rt2, fx2.program, without_rare);
+
+    // Same number of reconfigurations: the rare path contributes
+    // none (its nodes map to label 0).
+    EXPECT_EQ(d.reconfigs.size(), d2.reconfigs.size());
+}
+
+TEST(Runtime, StaticModeReconfiguresOnAnyPath)
+{
+    // The L+F mode keys on static entities, so reaching hot via the
+    // untrained rare path still reconfigures (the paper's mpeg2
+    // observation, Section 4.2).
+    Fixture fx(ContextMode::LF, 0.0);
+    ProfileRuntime rt(fx.tree, fx.plan);
+    Driver d;
+    InputSet with_rare;
+    with_rare.with("rare_on", 1.0);
+    d.run(rt, fx.program, with_rare);
+
+    Fixture fx2(ContextMode::LF, 0.0);
+    ProfileRuntime rt2(fx2.tree, fx2.plan);
+    Driver d2;
+    InputSet without_rare;
+    without_rare.with("rare_on", 0.0);
+    d2.run(rt2, fx2.program, without_rare);
+
+    EXPECT_GT(d.reconfigs.size(), d2.reconfigs.size())
+        << "L+F reconfigures on new paths to known entities";
+}
+
+TEST(Runtime, StaticModeCostsLessThanPathMode)
+{
+    Fixture path_fx(ContextMode::LFP);
+    Fixture static_fx(ContextMode::LF);
+    ProfileRuntime path_rt(path_fx.tree, path_fx.plan);
+    ProfileRuntime static_rt(static_fx.tree, static_fx.plan);
+    Driver dp, ds;
+    InputSet in;
+    in.with("rare_on", 0.0);
+    dp.run(path_rt, path_fx.program, in);
+    ds.run(static_rt, static_fx.program, in);
+    EXPECT_LT(ds.stall_cycles, dp.stall_cycles)
+        << "L+F instrumentation must be cheaper than path tracking";
+}
+
+TEST(Runtime, SaveRestoreBalancedAcrossRun)
+{
+    Fixture fx(ContextMode::LFP);
+    ProfileRuntime rt(fx.tree, fx.plan);
+    Driver d;
+    InputSet in;
+    in.with("rare_on", 1.0);
+    d.run(rt, fx.program, in);
+    // Every reconfig entry has a matching restore: even count.
+    EXPECT_EQ(d.reconfigs.size() % 2, 0u);
+}
+
+TEST(RuntimeCosts, PaperPenaltiesByDefault)
+{
+    RuntimeCosts c;
+    EXPECT_EQ(c.funcTrackCycles, 9);
+    EXPECT_EQ(c.funcTrackCycles + c.reconfigExtraCycles, 17);
+}

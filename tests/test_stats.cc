@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tests for summaries and the paper's headline metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hh"
+
+using mcd::computeMetrics;
+using mcd::Summary;
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Summary, TracksMinMaxMean)
+{
+    Summary s;
+    s.add(3.0);
+    s.add(-1.0);
+    s.add(7.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.min(), -1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(Metrics, BaselineIsZero)
+{
+    auto m = computeMetrics(100.0, 50.0, 100.0, 50.0);
+    EXPECT_DOUBLE_EQ(m.slowdownPct, 0.0);
+    EXPECT_DOUBLE_EQ(m.energySavingsPct, 0.0);
+    EXPECT_DOUBLE_EQ(m.energyDelayImprovementPct, 0.0);
+}
+
+TEST(Metrics, PaperConventions)
+{
+    // 10% slower, 30% less energy.
+    auto m = computeMetrics(110.0, 35.0, 100.0, 50.0);
+    EXPECT_NEAR(m.slowdownPct, 10.0, 1e-9);
+    EXPECT_NEAR(m.energySavingsPct, 30.0, 1e-9);
+    // ED improvement = 1 - (110*35)/(100*50) = 1 - 0.77 = 23%.
+    EXPECT_NEAR(m.energyDelayImprovementPct, 23.0, 1e-9);
+}
+
+TEST(Metrics, NegativeImprovementPossible)
+{
+    auto m = computeMetrics(130.0, 45.0, 100.0, 50.0);
+    EXPECT_LT(m.energyDelayImprovementPct, 0.0);
+}

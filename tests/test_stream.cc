@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the execution streamer: determinism, marker balance,
+ * trip-count scaling, guarded calls, argument profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "workload/stream.hh"
+
+using namespace mcd::workload;
+
+namespace
+{
+
+Program
+nestedProgram()
+{
+    ProgramBuilder b("nested");
+    InstructionMix m;
+    m.set(InstrClass::Load, 0.2).branches(0.1, 0.05);
+    MixId mx = b.mix(m);
+
+    b.func("callee");
+    b.block(mx, 6);
+
+    b.func("main");
+    b.loop(4, 1.0, [&] {
+        b.block(mx, 3);
+        b.loop(2, 0.0, [&] { b.call("callee"); });
+    });
+    return b.build("main");
+}
+
+struct Collected
+{
+    std::vector<StreamItem> items;
+    std::uint64_t instrs = 0;
+};
+
+Collected
+collect(const Program &p, const InputSet &in,
+        std::uint64_t cap = 1'000'000)
+{
+    Stream s(p, in);
+    Collected c;
+    StreamItem item;
+    while (s.next(item) && c.instrs < cap) {
+        c.items.push_back(item);
+        if (item.kind == StreamItem::Kind::Instr)
+            ++c.instrs;
+    }
+    return c;
+}
+
+} // namespace
+
+TEST(Stream, DeterministicAcrossInstances)
+{
+    Program p = nestedProgram();
+    InputSet in;
+    in.seed = 5;
+    auto a = collect(p, in);
+    auto b = collect(p, in);
+    ASSERT_EQ(a.items.size(), b.items.size());
+    for (size_t i = 0; i < a.items.size(); ++i) {
+        EXPECT_EQ(a.items[i].kind, b.items[i].kind);
+        if (a.items[i].kind == StreamItem::Kind::Instr) {
+            EXPECT_EQ(a.items[i].instr.pc, b.items[i].instr.pc);
+            EXPECT_EQ(a.items[i].instr.addr, b.items[i].instr.addr);
+            EXPECT_EQ(a.items[i].instr.taken, b.items[i].instr.taken);
+        }
+    }
+}
+
+TEST(Stream, MarkersBalance)
+{
+    Program p = nestedProgram();
+    InputSet in;
+    auto c = collect(p, in);
+    int func_depth = 0, loop_depth = 0;
+    int max_func = 0;
+    for (const auto &item : c.items) {
+        if (item.kind != StreamItem::Kind::Marker)
+            continue;
+        switch (item.marker.kind) {
+          case MarkerKind::FuncEnter:
+            ++func_depth;
+            max_func = std::max(max_func, func_depth);
+            break;
+          case MarkerKind::FuncExit:
+            --func_depth;
+            break;
+          case MarkerKind::LoopEnter:
+            ++loop_depth;
+            break;
+          case MarkerKind::LoopExit:
+            --loop_depth;
+            break;
+          default:
+            break;
+        }
+        ASSERT_GE(func_depth, 0);
+        ASSERT_GE(loop_depth, 0);
+    }
+    EXPECT_EQ(func_depth, 0);
+    EXPECT_EQ(loop_depth, 0);
+    EXPECT_EQ(max_func, 2);  // main -> callee
+}
+
+TEST(Stream, CallSitePrecedesFuncEnter)
+{
+    Program p = nestedProgram();
+    InputSet in;
+    auto c = collect(p, in);
+    for (size_t i = 0; i < c.items.size(); ++i) {
+        const auto &item = c.items[i];
+        if (item.kind == StreamItem::Kind::Marker &&
+            item.marker.kind == MarkerKind::CallSite) {
+            // Next items: call branch instr, then FuncEnter.
+            ASSERT_LT(i + 2, c.items.size());
+            EXPECT_EQ(c.items[i + 1].kind, StreamItem::Kind::Instr);
+            EXPECT_EQ(c.items[i + 2].kind, StreamItem::Kind::Marker);
+            EXPECT_EQ(c.items[i + 2].marker.kind, MarkerKind::FuncEnter);
+            EXPECT_EQ(c.items[i + 2].marker.site, item.marker.site);
+        }
+    }
+}
+
+TEST(Stream, ScaleMultipliesTripCounts)
+{
+    Program p = nestedProgram();
+    InputSet one, three;
+    one.scale = 1.0;
+    three.scale = 3.0;
+    auto a = collect(p, one);
+    auto b = collect(p, three);
+    // Outer loop scales with input (scaleExp 1), inner does not.
+    EXPECT_GT(b.instrs, 2 * a.instrs);
+    EXPECT_LT(b.instrs, 4 * a.instrs);
+}
+
+TEST(Stream, GuardedCallRespondsToKnob)
+{
+    ProgramBuilder b("guarded");
+    InstructionMix m;
+    MixId mx = b.mix(m);
+    b.func("rare");
+    b.block(mx, 10);
+    b.func("main");
+    b.loop(50, 0.0, [&] { b.call("rare", 0, 1.0, "rare_prob"); });
+    Program p = b.build("main");
+
+    InputSet never, always;
+    never.with("rare_prob", 0.0);
+    always.with("rare_prob", 1.0);
+
+    auto cn = collect(p, never);
+    auto ca = collect(p, always);
+    int enters_never = 0, enters_always = 0;
+    for (const auto &item : cn.items)
+        if (item.kind == StreamItem::Kind::Marker &&
+            item.marker.kind == MarkerKind::FuncEnter &&
+            item.marker.func == 0)
+            ++enters_never;
+    for (const auto &item : ca.items)
+        if (item.kind == StreamItem::Kind::Marker &&
+            item.marker.kind == MarkerKind::FuncEnter &&
+            item.marker.func == 0)
+            ++enters_always;
+    EXPECT_EQ(enters_never, 0);
+    EXPECT_EQ(enters_always, 50);
+}
+
+TEST(Stream, ArgProfileScalesTrips)
+{
+    ProgramBuilder b("args");
+    InstructionMix m;
+    MixId mx = b.mix(m);
+    b.func("kernel");
+    b.argProfiles({ArgProfile{1.0, 1.0, 0.0, 1.0},
+                   ArgProfile{1.0, 4.0, 0.0, 1.0}});
+    b.loop(10, 0.0, [&] { b.block(mx, 5); });
+    b.func("main");
+    b.call("kernel", 0);
+    b.call("kernel", 1);
+    Program p = b.build("main");
+
+    InputSet in;
+    auto c = collect(p, in);
+    // Count instructions between the two kernel invocations.
+    std::vector<std::uint64_t> per_call;
+    std::uint64_t cur = 0;
+    bool inside = false;
+    for (const auto &item : c.items) {
+        if (item.kind == StreamItem::Kind::Marker) {
+            if (item.marker.kind == MarkerKind::FuncEnter &&
+                item.marker.func == 0) {
+                inside = true;
+                cur = 0;
+            } else if (item.marker.kind == MarkerKind::FuncExit &&
+                       item.marker.func == 0) {
+                inside = false;
+                per_call.push_back(cur);
+            }
+        } else if (inside) {
+            ++cur;
+        }
+    }
+    ASSERT_EQ(per_call.size(), 2u);
+    // Second call has ~4x the loop trips.
+    EXPECT_GT(per_call[1], 3 * per_call[0]);
+}
+
+TEST(Stream, BackEdgeBranchTakenUntilLastIteration)
+{
+    ProgramBuilder b("backedge");
+    InstructionMix m;
+    MixId mx = b.mix(m);
+    b.func("main");
+    b.loop(5, 0.0, [&] { b.block(mx, 2); });
+    Program p = b.build("main");
+    const auto &loop_stmt = p.function(p.entry).body[0].loop;
+
+    InputSet in;
+    auto c = collect(p, in);
+    std::vector<bool> outcomes;
+    for (const auto &item : c.items)
+        if (item.kind == StreamItem::Kind::Instr &&
+            item.instr.pc == loop_stmt.branchPc)
+            outcomes.push_back(item.instr.taken);
+    ASSERT_EQ(outcomes.size(), 5u);
+    for (size_t i = 0; i + 1 < outcomes.size(); ++i)
+        EXPECT_TRUE(outcomes[i]);
+    EXPECT_FALSE(outcomes.back());
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Parameterized property sweeps over the simulator: monotonicity of
+ * run time in domain frequency, energy monotonicity in voltage,
+ * determinism under every context mode, synchronization margins
+ * across frequency pairs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "sim/processor.hh"
+#include "workload/suite.hh"
+
+using namespace mcd;
+using namespace mcd::sim;
+using namespace mcd::workload;
+
+namespace
+{
+
+RunResult
+runAt(const Benchmark &bm, const FreqSet &freqs,
+      std::uint64_t n = 15'000)
+{
+    SimConfig scfg;
+    power::PowerConfig pcfg;
+    Processor proc(scfg, pcfg, bm.program, bm.train);
+    proc.setInitialFreqs(freqs);
+    return proc.run(n);
+}
+
+} // namespace
+
+/** Uniformly scaling the whole chip down must monotonically slow it
+ *  and save energy. */
+class UniformScaleSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(UniformScaleSweep, TimeUpEnergyDown)
+{
+    Benchmark bm = makeBenchmark("jpeg_compress");
+    Mhz f = static_cast<Mhz>(GetParam());
+    RunResult fast = runAt(bm, {1000, 1000, 1000, 1000});
+    RunResult slow = runAt(bm, {f, f, f, f});
+    EXPECT_GT(slow.timePs, fast.timePs);
+    EXPECT_LT(slow.chipEnergyNj, fast.chipEnergyNj);
+}
+
+INSTANTIATE_TEST_SUITE_P(Freqs, UniformScaleSweep,
+                         ::testing::Values(900, 750, 600, 450, 300,
+                                           250));
+
+/** Per-domain monotonicity: lowering one domain further never makes
+ *  the program faster. */
+class DomainScaleSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DomainScaleSweep, MonotoneInDomainFrequency)
+{
+    Benchmark bm = makeBenchmark("epic_decode");
+    int d = GetParam();
+    FreqSet hi = {1000, 1000, 1000, 1000};
+    FreqSet mid = hi, lo = hi;
+    mid[static_cast<size_t>(d)] = 600;
+    lo[static_cast<size_t>(d)] = 250;
+    Tick t_hi = runAt(bm, hi).timePs;
+    Tick t_mid = runAt(bm, mid).timePs;
+    Tick t_lo = runAt(bm, lo).timePs;
+    // Allow ~1% jitter-induced noise in the comparisons.
+    EXPECT_GE(static_cast<double>(t_mid) * 1.01,
+              static_cast<double>(t_hi));
+    EXPECT_GE(static_cast<double>(t_lo) * 1.01,
+              static_cast<double>(t_mid));
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, DomainScaleSweep,
+                         ::testing::Range(0, NUM_SCALED_DOMAINS));
+
+/** The full pipeline is deterministic under every context mode. */
+class ModeDeterminism
+    : public ::testing::TestWithParam<core::ContextMode>
+{
+};
+
+TEST_P(ModeDeterminism, TrainAndRunTwiceIdentical)
+{
+    Benchmark bm = makeBenchmark("gsm_encode");
+    SimConfig scfg;
+    scfg.rampNsPerMhz = 2.2;
+    power::PowerConfig pcfg;
+    auto once = [&]() {
+        core::PipelineConfig pc;
+        pc.mode = GetParam();
+        pc.slowdownPct = 8.0;
+        core::ProfilePipeline pipe(bm.program, pc);
+        pipe.train(bm.train, scfg, pcfg);
+        return pipe.runProduction(bm.ref, scfg, pcfg, 40'000);
+    };
+    RunResult a = once();
+    RunResult b = once();
+    EXPECT_EQ(a.timePs, b.timePs);
+    EXPECT_DOUBLE_EQ(a.chipEnergyNj, b.chipEnergyNj);
+    EXPECT_EQ(a.reconfigs, b.reconfigs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ModeDeterminism,
+    ::testing::Values(core::ContextMode::LFCP, core::ContextMode::LFP,
+                      core::ContextMode::FCP, core::ContextMode::FP,
+                      core::ContextMode::LF, core::ContextMode::F),
+    [](const auto &info) {
+        std::string s = core::contextModeName(info.param);
+        for (auto &c : s)
+            if (c == '+')
+                c = '_';
+        return s;
+    });
+
+/** Sync margin properties across frequency pairs. */
+class SyncMarginSweep
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(SyncMarginSweep, WindowTracksFasterClock)
+{
+    SimConfig cfg;
+    auto [src_mhz, dst_mhz] = GetParam();
+    Tick sp = periodPs(static_cast<Mhz>(src_mhz));
+    Tick dp = periodPs(static_cast<Mhz>(dst_mhz));
+    Tick margin = syncMarginPs(cfg, Domain::Integer, Domain::Memory,
+                               sp, dp);
+    Tick faster = std::min(sp, dp);
+    EXPECT_EQ(margin, static_cast<Tick>(cfg.syncWindowFrac *
+                                        static_cast<double>(faster)));
+    // Symmetric in the period pair.
+    EXPECT_EQ(margin, syncMarginPs(cfg, Domain::Memory,
+                                   Domain::Integer, dp, sp));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, SyncMarginSweep,
+    ::testing::Values(std::make_pair(1000, 1000),
+                      std::make_pair(1000, 250),
+                      std::make_pair(250, 1000),
+                      std::make_pair(475, 650),
+                      std::make_pair(250, 250)));

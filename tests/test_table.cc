@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Tests for the ASCII table writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+using mcd::TextTable;
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"bench", "x", "yy"});
+    t.row({"a", "1.0", "2"});
+    t.row({"longname", "10.25", "3"});
+    std::ostringstream os;
+    t.print(os);
+    std::string s = os.str();
+    EXPECT_NE(s.find("bench"), std::string::npos);
+    EXPECT_NE(s.find("longname"), std::string::npos);
+    // Every data line should have the same width.
+    std::istringstream is(s);
+    std::string line;
+    std::getline(is, line);
+    size_t w = line.size();
+    while (std::getline(is, line))
+        EXPECT_EQ(line.size(), w) << "line: '" << line << "'";
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(-1.0, 0), "-1");
+}
+
+TEST(TextTable, SeparatorAndShortRows)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    t.row({"only"});
+    t.separator();
+    t.row({"x", "y"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only"), std::string::npos);
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Slowdown-thresholding tests: exact budget arithmetic on crafted
+ * histograms, monotonicity in d, boundary behaviours.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/threshold.hh"
+
+using namespace mcd;
+using namespace mcd::core;
+
+namespace
+{
+
+NodeHistograms
+singleDomainHist(Domain d, std::initializer_list<std::pair<Mhz, double>>
+                               bins,
+                 Tick span_ps)
+{
+    NodeHistograms n;
+    for (auto [f, c] : bins)
+        n.hist[static_cast<int>(d)].add(f, c);
+    n.spanPs = span_ps;
+    return n;
+}
+
+} // namespace
+
+TEST(Threshold, EmptyDomainsGetMinimumFrequency)
+{
+    NodeHistograms n;
+    n.spanPs = 1'000'000;
+    ThresholdConfig cfg;
+    auto f = chooseFrequencies(n, cfg);
+    for (int d = 0; d < NUM_SCALED_DOMAINS; ++d)
+        EXPECT_DOUBLE_EQ(f[static_cast<size_t>(d)], 250.0);
+}
+
+TEST(Threshold, AllTopBinWithTinyBudgetStaysFast)
+{
+    // 100k cycles of critical (1000 MHz) integer work in a 100 us
+    // node: running at 975 MHz would cost 100000*(1/975-1/1000) =
+    // 2.56 us of extra time.  With d=0.1% (0.1 us budget at share 1)
+    // the threshold must keep the domain at 1000.
+    auto n = singleDomainHist(Domain::Integer, {{1000.0, 100'000.0}},
+                              100'000'000);
+    ThresholdConfig cfg;
+    cfg.slowdownPct = 0.1;
+    cfg.perDomainShare = 1.0;
+    auto f = chooseFrequencies(n, cfg);
+    EXPECT_DOUBLE_EQ(f[static_cast<size_t>(Domain::Integer)], 1000.0);
+}
+
+TEST(Threshold, ShakenWorkPermitsLowFrequency)
+{
+    // All work already shaken to 250 MHz: any frequency >= 250 costs
+    // nothing extra, so the minimum is chosen.
+    auto n = singleDomainHist(Domain::Integer, {{250.0, 100'000.0}},
+                              100'000'000);
+    ThresholdConfig cfg;
+    cfg.slowdownPct = 1.0;
+    auto f = chooseFrequencies(n, cfg);
+    EXPECT_DOUBLE_EQ(f[static_cast<size_t>(Domain::Integer)], 250.0);
+}
+
+TEST(Threshold, ExactBudgetBoundary)
+{
+    // 10k top-bin cycles in a 10 ms node, share 1.  Extra time at
+    // f: 10000*(1/f - 1/1000) us.  At f=500: 10 us.  So d must be
+    // >= 0.1% for 500 MHz to be acceptable.
+    auto n = singleDomainHist(Domain::Integer, {{1000.0, 10'000.0}},
+                              10'000'000'000ULL);
+    ThresholdConfig cfg;
+    cfg.perDomainShare = 1.0;
+
+    cfg.slowdownPct = 0.11;
+    auto f_loose = chooseFrequencies(n, cfg);
+    EXPECT_LE(f_loose[static_cast<size_t>(Domain::Integer)], 500.0);
+
+    cfg.slowdownPct = 0.05;
+    auto f_tight = chooseFrequencies(n, cfg);
+    EXPECT_GT(f_tight[static_cast<size_t>(Domain::Integer)], 500.0);
+}
+
+TEST(Threshold, FrontEndUsesItsOwnShare)
+{
+    auto make = [](Domain d) {
+        return singleDomainHist(d, {{1000.0, 10'000.0}},
+                                10'000'000'000ULL);
+    };
+    ThresholdConfig cfg;
+    cfg.slowdownPct = 0.2;
+    cfg.perDomainShare = 1.0;
+    cfg.frontEndShare = 0.05;
+    auto fe = chooseFrequencies(make(Domain::FrontEnd), cfg);
+    auto in = chooseFrequencies(make(Domain::Integer), cfg);
+    EXPECT_GT(fe[static_cast<size_t>(Domain::FrontEnd)],
+              in[static_cast<size_t>(Domain::Integer)])
+        << "front end must be throttled more conservatively";
+}
+
+/** Property: chosen frequency is non-increasing in d. */
+class ThresholdMonotonic : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ThresholdMonotonic, FrequencyNonIncreasingInD)
+{
+    NodeHistograms n;
+    // A spread of work across bins.
+    for (Mhz f = 250.0; f <= 1000.0; f += 125.0)
+        n.hist[static_cast<int>(Domain::Memory)].add(f, 5'000.0);
+    n.spanPs = 50'000'000;
+
+    ThresholdConfig lo_cfg, hi_cfg;
+    lo_cfg.slowdownPct = GetParam();
+    hi_cfg.slowdownPct = GetParam() + 2.0;
+    auto f_lo = chooseFrequencies(n, lo_cfg);
+    auto f_hi = chooseFrequencies(n, hi_cfg);
+    EXPECT_GE(f_lo[static_cast<size_t>(Domain::Memory)],
+              f_hi[static_cast<size_t>(Domain::Memory)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(DSweep, ThresholdMonotonic,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0,
+                                           12.0));
+
+TEST(Threshold, OutputQuantizedToSteps)
+{
+    NodeHistograms n;
+    n.hist[static_cast<int>(Domain::Integer)].add(733.0, 1'000.0);
+    n.spanPs = 1'000'000;
+    ThresholdConfig cfg;
+    auto f = chooseFrequencies(n, cfg);
+    double v = f[static_cast<size_t>(Domain::Integer)];
+    EXPECT_DOUBLE_EQ(v, cfg.steps.quantize(v));
+}

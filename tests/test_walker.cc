@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tree-walker tests: faithful path following, label-0 semantics on
+ * unseen paths, covering-node computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hh"
+#include "core/walker.hh"
+#include "workload/stream.hh"
+
+using namespace mcd;
+using namespace mcd::core;
+using namespace mcd::workload;
+
+namespace
+{
+
+Program
+guardedProgram()
+{
+    ProgramBuilder b("guarded");
+    InstructionMix m;
+    MixId mx = b.mix(m);
+
+    b.func("helper");
+    b.loop(400, 0.0, [&] { b.block(mx, 40); });
+
+    b.func("rare");
+    b.call("helper");  // helper reachable via a second path
+
+    b.func("main");
+    b.loop(3, 0.0, [&] {
+        b.call("helper");
+        b.call("rare", 0, 1.0, "rare_on");
+    });
+    return b.build("main");
+}
+
+} // namespace
+
+TEST(TreeWalker, FollowsTrainedPathsExactly)
+{
+    Program p = guardedProgram();
+    InputSet train;
+    train.with("rare_on", 0.0);
+    CallTree tree =
+        profileProgram(p, train, ContextMode::LFP, ProfileConfig());
+
+    // Replay the same input: the walker must mirror the builder.
+    TreeWalker w(tree);
+    CallTree ref(ContextMode::LFP);
+    Stream s(p, train);
+    StreamItem item;
+    while (s.next(item)) {
+        if (item.kind != StreamItem::Kind::Marker)
+            continue;
+        ref.onMarker(item.marker);
+        w.onMarker(item.marker);
+        EXPECT_EQ(w.current(), ref.cursor());
+    }
+}
+
+TEST(TreeWalker, UnknownPathMapsToLabelZero)
+{
+    Program p = guardedProgram();
+    InputSet train, ref_in;
+    train.with("rare_on", 0.0);
+    ref_in.with("rare_on", 1.0);
+    CallTree tree =
+        profileProgram(p, train, ContextMode::LFP, ProfileConfig());
+
+    const Function *rare = p.findFunction("rare");
+    TreeWalker w(tree);
+    Stream s(p, ref_in);
+    StreamItem item;
+    bool saw_rare = false;
+    int depth_in_rare = 0;
+    while (s.next(item)) {
+        if (item.kind != StreamItem::Kind::Marker)
+            continue;
+        w.onMarker(item.marker);
+        if (item.marker.kind == MarkerKind::FuncEnter &&
+            item.marker.func == rare->id) {
+            saw_rare = true;
+            depth_in_rare = 1;
+            EXPECT_EQ(w.current(), 0u)
+                << "path absent from training must map to label 0";
+        } else if (depth_in_rare > 0) {
+            if (item.marker.kind == MarkerKind::FuncEnter)
+                ++depth_in_rare;
+            if (item.marker.kind == MarkerKind::FuncExit)
+                --depth_in_rare;
+            if (depth_in_rare > 0) {
+                EXPECT_EQ(w.current(), 0u)
+                    << "everything below an unknown path is unknown";
+            }
+        }
+    }
+    EXPECT_TRUE(saw_rare);
+}
+
+TEST(TreeWalker, CoveringNodeIsInnermostLongRunning)
+{
+    Program p = guardedProgram();
+    InputSet train;
+    train.with("rare_on", 0.0);
+    CallTree tree =
+        profileProgram(p, train, ContextMode::LFP, ProfileConfig());
+
+    // helper's loop runs 400*40 = 16k instrs per instance: long.
+    std::uint32_t loop_node = 0;
+    for (auto id : tree.nodeIds())
+        if (tree.node(id).kind == NodeKind::Loop &&
+            tree.node(id).longRunning)
+            loop_node = id;
+    ASSERT_NE(loop_node, 0u);
+
+    TreeWalker w(tree);
+    Stream s(p, train);
+    StreamItem item;
+    bool covered = false;
+    while (s.next(item)) {
+        if (item.kind != StreamItem::Kind::Marker)
+            continue;
+        w.onMarker(item.marker);
+        if (w.current() == loop_node) {
+            EXPECT_EQ(w.covering(), loop_node);
+            covered = true;
+        }
+    }
+    EXPECT_TRUE(covered);
+}
+
+TEST(TreeWalker, BalancedAtProgramEnd)
+{
+    Program p = guardedProgram();
+    InputSet in;
+    in.with("rare_on", 1.0);
+    CallTree tree =
+        profileProgram(p, in, ContextMode::LFCP, ProfileConfig());
+    TreeWalker w(tree);
+    Stream s(p, in);
+    StreamItem item;
+    while (s.next(item))
+        if (item.kind == StreamItem::Kind::Marker)
+            w.onMarker(item.marker);
+    EXPECT_EQ(w.depth(), 1u);
+}
