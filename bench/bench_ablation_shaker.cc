@@ -1,6 +1,7 @@
 /**
  * @file
- * Ablation: the shaker's structural resource edges (DESIGN.md §4).
+ * Ablation: the shaker's structural resource edges
+ * (docs/ARCHITECTURE.md, "Shaker structural edges").
  *
  * The dependence DAG carries ROB/issue-queue occupancy edges,
  * width-aware bandwidth chains and mispredict-redirect events on top

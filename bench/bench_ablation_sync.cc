@@ -1,6 +1,7 @@
 /**
  * @file
- * Ablation: the inter-domain synchronization window (DESIGN.md §4).
+ * Ablation: the inter-domain synchronization window
+ * (docs/ARCHITECTURE.md, "Synchronization window").
  *
  * Sweeps the Sjogren-Myers window (the paper models 30% of the faster
  * clock's period; Table 1's 300 ps) and the clock jitter, showing how

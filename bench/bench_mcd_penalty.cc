@@ -5,7 +5,8 @@
  * counterpart at equal (maximum) frequency.  The paper reports a
  * mean performance penalty of ~1.3% (max 3.6%) and energy penalty of
  * ~0.8% (max 2.1%); our substrate is more latency-sensitive (see
- * EXPERIMENTS.md) but the penalty must stay small and positive.
+ * docs/ARCHITECTURE.md, "Synchronization window") but the penalty
+ * must stay small and positive.
  */
 
 #include "common.hh"

@@ -59,7 +59,7 @@ main()
 
     // --- 2. Baseline run: MCD processor, all domains at 1 GHz --------
     sim::SimConfig scfg;
-    scfg.rampNsPerMhz = 2.2;  // time-scaled DVFS ramp (EXPERIMENTS.md)
+    scfg.rampNsPerMhz = 2.2;  // time-scaled DVFS ramp (docs/ARCHITECTURE.md)
     power::PowerConfig pcfg;
 
     sim::Processor base(scfg, pcfg, program, ref);

@@ -16,7 +16,7 @@ globalDvsMatch(const workload::Program &program,
     // single-clock chip; with its ~1.3% MCD penalty the two are
     // equivalent, but our substrate's larger synchronization penalty
     // would otherwise hand "global" an unearned speed dividend —
-    // see EXPERIMENTS.md.)
+    // see docs/ARCHITECTURE.md, "Synchronization window".)
     sim::SimConfig scfg = scfg_in;
 
     auto run_at = [&](Mhz f) {

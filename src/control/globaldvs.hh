@@ -21,7 +21,13 @@ namespace mcd::control
 /** Result of the global-DVS search. */
 struct GlobalDvsResult
 {
-    Mhz freq = 0.0;       ///< chosen chip frequency
+    /**
+     * Chosen chip-wide frequency in MHz, within
+     * [`SimConfig::minMhz`, `maxMhz`]; the whole chip runs at the
+     * matching supply voltage (`SimConfig::voltageFor()`, 650–1200
+     * mV over the default range).
+     */
+    Mhz freq = 0.0;
     sim::RunResult run;   ///< run at that frequency
 };
 
@@ -30,14 +36,21 @@ struct GlobalDvsResult
  * run time best matches @p target_time_ps without exceeding it by
  * more than the search tolerance, and return that run.
  *
+ * Unlike the other controllers this baseline has no slowdown target
+ * of its own: the paper gives it the off-line oracle's achieved run
+ * time as @p target_time_ps, so it represents what conventional
+ * chip-wide DVFS could do under the same performance budget.
+ *
  * @param program    workload
  * @param input      input set
  * @param scfg       simulator configuration (single-clock mode is
- *                   forced internally)
+ *                   forced internally, so no MCD synchronization
+ *                   penalties apply)
  * @param pcfg       power configuration
  * @param window     instructions to simulate
- * @param target_time_ps run time to match
- * @param iters      bisection iterations
+ * @param target_time_ps run time to match, in picoseconds
+ * @param iters      bisection iterations (6 resolves ~12 MHz over
+ *                   the default 750 MHz range)
  */
 GlobalDvsResult
 globalDvsMatch(const workload::Program &program,

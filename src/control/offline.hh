@@ -21,20 +21,41 @@
 namespace mcd::control
 {
 
-/** Off-line oracle parameters. */
+/**
+ * Off-line oracle parameters.
+ *
+ * The controller emits a `sim::SchedulePoint` list: per-domain
+ * target frequencies in MHz, keyed by simulated time in picoseconds.
+ * Voltage is not a separate knob — each domain's supply follows its
+ * frequency through `sim::SimConfig::voltageFor()` (the linear
+ * XScale-like curve, 0.65 V / 650 mV at `minMhz` up to 1.20 V /
+ * 1200 mV at `maxMhz`).
+ */
 struct OfflineConfig
 {
-    /** Reconfiguration interval (the paper uses fixed intervals). */
+    /**
+     * Reconfiguration interval, in committed instructions (the paper
+     * uses fixed intervals; its main results use 10,000).  Smaller
+     * intervals track phase changes more closely but amplify ramp
+     * overhead.
+     */
     std::uint64_t intervalInstrs = 10'000;
-    /** Slowdown threshold d (percent). */
+    /**
+     * Slowdown target d, in percent of baseline run time: the oracle
+     * picks per-interval frequencies so the estimated run-time
+     * increase stays within d%.  This is the x-axis knob of the
+     * Figure 10/11 trade-off curves (paper default: 5%).
+     */
     double slowdownPct = 5.0;
     /**
-     * Schedule lead: frequencies are requested this many
-     * instructions before the interval starts, hiding ramp time —
-     * the oracle knows the future.
+     * Schedule lead, in committed instructions: frequencies are
+     * requested this many instructions before the interval starts,
+     * hiding the DVFS ramp time — the oracle knows the future.
      */
     std::uint64_t leadInstrs = 2'000;
+    /** Phase-2 slack analysis knobs (see core/shaker.hh). */
     core::ShakerConfig shaker;
+    /** Phase-3 frequency selection knobs (see core/threshold.hh). */
     core::ThresholdConfig threshold;
 };
 

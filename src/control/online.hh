@@ -24,25 +24,63 @@
 namespace mcd::control
 {
 
-/** Attack/decay parameters. */
+/**
+ * Attack/decay parameters.
+ *
+ * All frequency moves are expressed relative to the hardware range
+ * [`sim::SimConfig::minMhz`, `maxMhz`] (250–1000 MHz by default);
+ * the resulting per-domain frequency request is in MHz and voltage
+ * follows it via `SimConfig::voltageFor()` (650–1200 mV).  Queue
+ * utilizations are occupancy fractions in [0, 1] averaged over the
+ * evaluation interval.
+ */
 struct OnlineConfig
 {
-    /** Controller evaluation interval (committed instructions). */
+    /**
+     * Controller evaluation interval, in committed instructions.
+     * Each interval the controller inspects per-domain queue
+     * utilization and adjusts that domain's frequency.
+     */
     std::uint64_t intervalInstrs = 2'000;
-    /** Attack step as a fraction of the full frequency range. */
+    /**
+     * Attack step, as a fraction of the full MHz range
+     * (0.10 = 75 MHz with the default 250–1000 MHz range): the jump
+     * applied when utilization changes significantly.
+     */
     double attackStep = 0.10;
-    /** Decay per interval (multiplicative). */
+    /**
+     * Decay per interval, multiplicative (0.03 = frequency drifts
+     * down 3% per quiet interval, scaled by `aggressiveness`).
+     */
     double decayStep = 0.03;
-    /** Relative utilization change that triggers an attack. */
+    /**
+     * Utilization change, in absolute occupancy-fraction units
+     * (0.12 = twelve points of queue occupancy), between consecutive
+     * intervals that triggers an attack instead of decay.
+     */
     double changeThresh = 0.12;
-    /** Utilization below which a domain is considered idle. */
+    /**
+     * Utilization (fraction of queue capacity) below which a domain
+     * is considered idle and dropped toward `minMhz`.
+     */
     double idleThresh = 0.02;
-    /** IPC drop (fraction of recent best) that triggers recovery. */
+    /**
+     * IPC drop, as a fraction of the best recent interval IPC, that
+     * triggers recovery: all domains return to `maxMhz`.
+     */
     double ipcGuard = 0.10;
-    /** Scales decay and relaxes the guard (the trade-off knob). */
+    /**
+     * The energy-versus-slowdown trade-off knob of Figures 10/11
+     * (dimensionless, 1.0 = the paper's default operating point):
+     * scales `decayStep` and relaxes `ipcGuard`, so larger values
+     * save more energy at more slowdown.
+     */
     double aggressiveness = 1.0;
 
-    /** Queue capacities (match the simulated core). */
+    /**
+     * Queue capacities, in entries; must match the simulated core
+     * (`sim::SimConfig`) so occupancy fractions are meaningful.
+     */
     int intIqSize = 20;
     int fpIqSize = 15;
     int lsqSize = 64;

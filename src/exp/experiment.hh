@@ -50,7 +50,7 @@ struct ExpConfig
         // Our instruction windows are ~1000x shorter than the
         // paper's; scale the DVFS transition rate so ramps keep a
         // comparable (small but visible) share of a reconfigurable
-        // phase.  See EXPERIMENTS.md.
+        // phase.  See docs/ARCHITECTURE.md, "Time-scaled DVFS ramp".
         sim.rampNsPerMhz = 2.2;
     }
 };

@@ -4,8 +4,9 @@
  * streamer and consumed by the cycle-level simulator.
  *
  * This plays the role of the (Alpha) instruction stream that the
- * paper's SimpleScalar-based simulator executes.  See DESIGN.md §2 for
- * the substitution rationale.
+ * paper's SimpleScalar-based simulator executes.  See
+ * docs/ARCHITECTURE.md ("IR substitution") for the substitution
+ * rationale.
  */
 
 #ifndef MCD_WORKLOAD_INSTR_HH

@@ -3,7 +3,8 @@
  * Structured workload IR: programs made of functions, loops, call
  * sites and instruction blocks.
  *
- * The IR is the stand-in for application binaries (DESIGN.md §2): it
+ * The IR is the stand-in for application binaries
+ * (docs/ARCHITECTURE.md, "IR substitution"): it
  * exposes exactly the structural boundaries that the paper's ATOM
  * phase instruments — subroutine prologues/epilogues, loop
  * headers/footers (loops = SCCs of the CFG) and call sites — while the

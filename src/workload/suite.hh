@@ -6,8 +6,9 @@
  * Each benchmark is a structured Program plus a training and a
  * reference InputSet.  Programs encode the phase structure, domain
  * imbalance and training/reference divergences that the paper's
- * evaluation depends on; see DESIGN.md §6 for the per-benchmark
- * behaviours and the substitution rationale.
+ * evaluation depends on; see docs/ARCHITECTURE.md
+ * ("Suite construction") for the per-benchmark behaviours and the
+ * substitution rationale.
  */
 
 #ifndef MCD_WORKLOAD_SUITE_HH

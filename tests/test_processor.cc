@@ -144,8 +144,9 @@ TEST(Processor, SingleClockSlightlyFasterThanMcd)
          static_cast<double>(sc_r.timePs)) /
         static_cast<double>(sc_r.timePs);
     // Our substrate is more latency-sensitive than the authors'
-    // (paper: 1.3% mean, 3.6% max; see EXPERIMENTS.md), but the
-    // penalty must stay positive and moderate.
+    // (paper: 1.3% mean, 3.6% max; see docs/ARCHITECTURE.md,
+    // "Synchronization window"), but the penalty must stay positive
+    // and moderate.
     EXPECT_GT(penalty, 0.0);
     EXPECT_LT(penalty, 0.15);
 }
