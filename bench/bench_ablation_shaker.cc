@@ -64,7 +64,12 @@ main(int argc, char **argv)
     TextTable t;
     t.header({"benchmark", "variant", "fe MHz", "int MHz", "fp MHz",
               "mem MHz"});
-    for (const char *bench : {"mcf", "gsm_decode", "swim"}) {
+    const char *const benches[] = {"mcf", "gsm_decode", "swim"};
+    std::vector<std::vector<std::vector<std::string>>> rows(
+        std::size(benches));
+    util::parallelFor(std::size(benches), jobsOf(cfg),
+                      [&](std::size_t b) {
+        const char *bench = benches[b];
         workload::Benchmark bm = workload::makeBenchmark(bench);
         auto trace = traceOf(bm, cfg);
 
@@ -88,10 +93,15 @@ main(int argc, char **argv)
         };
         for (const auto &v : variants) {
             sim::FreqSet f = choose(trace, *v.scfg);
-            t.row({bench, v.name, TextTable::num(f[0], 0),
-                   TextTable::num(f[1], 0), TextTable::num(f[2], 0),
-                   TextTable::num(f[3], 0)});
+            rows[b].push_back({bench, v.name, TextTable::num(f[0], 0),
+                               TextTable::num(f[1], 0),
+                               TextTable::num(f[2], 0),
+                               TextTable::num(f[3], 0)});
         }
+    });
+    for (const auto &bench_rows : rows) {
+        for (const auto &row : bench_rows)
+            t.row(row);
         t.separator();
     }
     std::printf("Ablation: thresholded frequencies (d=10) with "

@@ -25,7 +25,13 @@ main(int argc, char **argv)
 
     TextTable t;
     t.header({"benchmark", "variant", "penalty %"});
-    for (const char *bench : {"adpcm_decode", "gsm_decode", "mcf"}) {
+    const char *const benches[] = {"adpcm_decode", "gsm_decode",
+                                   "mcf"};
+    std::vector<std::vector<std::vector<std::string>>> rows(
+        std::size(benches));
+    util::parallelFor(std::size(benches), jobsOf(cfg),
+                      [&](std::size_t b) {
+        const char *bench = benches[b];
         workload::Benchmark bm = workload::makeBenchmark(bench);
         auto run_with = [&](sim::SimConfig sc) {
             sim::Processor proc(sc, cfg.power, bm.program, bm.ref);
@@ -52,9 +58,14 @@ main(int argc, char **argv)
             sc.syncWindowFrac = v.windowFrac;
             sc.jitterPs = v.jitterPs;
             double tm = static_cast<double>(run_with(sc).timePs);
-            t.row({bench, v.name,
-                   TextTable::num((tm - t_single) / t_single * 100.0)});
+            rows[b].push_back(
+                {bench, v.name,
+                 TextTable::num((tm - t_single) / t_single * 100.0)});
         }
+    });
+    for (const auto &bench_rows : rows) {
+        for (const auto &row : bench_rows)
+            t.row(row);
         t.separator();
     }
     std::printf("Ablation: MCD baseline penalty vs. synchronization "

@@ -29,14 +29,20 @@ main(int argc, char **argv)
         {"L+F", {}, {}, {}},
     };
 
-    for (const auto &bench : workload::suiteNames()) {
+    const auto &benches = workload::suiteNames();
+    std::vector<exp::SweepCell> cells;
+    for (const auto &bench : benches) {
+        cells.push_back(exp::SweepCell::global(bench));
+        cells.push_back(exp::SweepCell::online(bench, HEADLINE_AGGR));
+        cells.push_back(exp::SweepCell::offline(bench, HEADLINE_D));
+        cells.push_back(exp::SweepCell::profile(
+            bench, core::ContextMode::LF, HEADLINE_D));
+    }
+    std::vector<exp::Outcome> out = runner.runSweep(cells);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
         Metrics ms[4];
-        ms[0] = runner.global(bench).metrics;
-        ms[1] = runner.online(bench, HEADLINE_AGGR).metrics;
-        ms[2] = runner.offline(bench, HEADLINE_D).metrics;
-        ms[3] = runner.profile(bench, core::ContextMode::LF,
-                               HEADLINE_D)
-                    .metrics;
+        for (int i = 0; i < 4; ++i)
+            ms[i] = out[4 * b + static_cast<std::size_t>(i)].metrics;
         for (int i = 0; i < 4; ++i) {
             methods[i].slow.add(ms[i].slowdownPct);
             methods[i].save.add(ms[i].energySavingsPct);

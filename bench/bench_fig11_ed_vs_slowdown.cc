@@ -18,41 +18,43 @@ main(int argc, char **argv)
     const double d_points[] = {2.0, 4.0, 6.0, 10.0, 14.0, 20.0};
     const double aggr_points[] = {0.25, 0.5, 1.0, 2.0, 3.5, 6.0};
 
+    const auto &benches = workload::suiteNames();
+    std::vector<exp::SweepCell> cells;
+    for (double d : d_points)
+        for (const auto &bench : benches)
+            cells.push_back(exp::SweepCell::offline(bench, d));
+    for (double d : d_points)
+        for (const auto &bench : benches)
+            cells.push_back(exp::SweepCell::profile(
+                bench, core::ContextMode::LF, d));
+    for (double a : aggr_points)
+        for (const auto &bench : benches)
+            cells.push_back(exp::SweepCell::online(bench, a));
+    std::vector<exp::Outcome> out = runner.runSweep(cells);
+
     TextTable t;
     t.header({"series", "point", "avg slowdown %", "avg ExD gain %"});
-    for (double d : d_points) {
-        Summary slow, ed;
-        for (const auto &bench : workload::suiteNames()) {
-            auto m = runner.offline(bench, d).metrics;
-            slow.add(m.slowdownPct);
-            ed.add(m.energyDelayImprovementPct);
+    std::size_t i = 0;
+    auto series = [&](const char *name, const double *points,
+                      std::size_t n, const char *fmt) {
+        for (std::size_t p = 0; p < n; ++p) {
+            Summary slow, ed;
+            for (std::size_t b = 0; b < benches.size(); ++b) {
+                const Metrics &m = out[i++].metrics;
+                slow.add(m.slowdownPct);
+                ed.add(m.energyDelayImprovementPct);
+            }
+            t.row({name, strprintf(fmt, points[p]),
+                   TextTable::num(slow.mean()),
+                   TextTable::num(ed.mean())});
         }
-        t.row({"off-line", strprintf("d=%.0f", d),
-               TextTable::num(slow.mean()), TextTable::num(ed.mean())});
-    }
+    };
+    series("off-line", d_points, std::size(d_points), "d=%.0f");
     t.separator();
-    for (double d : d_points) {
-        Summary slow, ed;
-        for (const auto &bench : workload::suiteNames()) {
-            auto m = runner.profile(bench, core::ContextMode::LF, d)
-                         .metrics;
-            slow.add(m.slowdownPct);
-            ed.add(m.energyDelayImprovementPct);
-        }
-        t.row({"L+F", strprintf("d=%.0f", d),
-               TextTable::num(slow.mean()), TextTable::num(ed.mean())});
-    }
+    series("L+F", d_points, std::size(d_points), "d=%.0f");
     t.separator();
-    for (double a : aggr_points) {
-        Summary slow, ed;
-        for (const auto &bench : workload::suiteNames()) {
-            auto m = runner.online(bench, a).metrics;
-            slow.add(m.slowdownPct);
-            ed.add(m.energyDelayImprovementPct);
-        }
-        t.row({"on-line", strprintf("aggr=%.2f", a),
-               TextTable::num(slow.mean()), TextTable::num(ed.mean())});
-    }
+    series("on-line", aggr_points, std::size(aggr_points),
+           "aggr=%.2f");
     std::printf("Figure 11: energy-delay improvement vs. achieved "
                 "slowdown (suite averages)\n");
     std::ostringstream os;

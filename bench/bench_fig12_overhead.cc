@@ -29,9 +29,17 @@ main(int argc, char **argv)
         Summary reconf, instr, overhead;
     };
     Agg agg[6];
-    for (const auto &bench : workload::suiteNames()) {
+    const auto &benches = workload::suiteNames();
+    std::vector<exp::SweepCell> cells;
+    for (const auto &bench : benches)
+        for (int i = 0; i < 6; ++i)
+            cells.push_back(exp::SweepCell::profile(
+                bench, modes[i], HEADLINE_D));
+    std::vector<exp::Outcome> out = runner.runSweep(cells);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
         for (int i = 0; i < 6; ++i) {
-            auto o = runner.profile(bench, modes[i], HEADLINE_D);
+            const auto &o =
+                out[6 * b + static_cast<std::size_t>(i)];
             agg[i].reconf.add(o.staticReconfigPoints);
             agg[i].instr.add(o.staticInstrPoints);
             agg[i].overhead.add(

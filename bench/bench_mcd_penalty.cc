@@ -22,8 +22,11 @@ main(int argc, char **argv)
     TextTable t;
     t.header({"benchmark", "perf penalty %", "energy penalty %"});
     Summary perf, energy;
-    for (const auto &bench : workload::suiteNames()) {
-        workload::Benchmark bm = workload::makeBenchmark(bench);
+    const auto &benches = workload::suiteNames();
+    std::vector<double> perf_pct(benches.size());
+    std::vector<double> energy_pct(benches.size());
+    util::parallelFor(benches.size(), jobsOf(cfg), [&](std::size_t i) {
+        workload::Benchmark bm = workload::makeBenchmark(benches[i]);
         sim::Processor mcd_proc(cfg.sim, cfg.power, bm.program,
                                 bm.ref);
         sim::RunResult mcd_run =
@@ -33,14 +36,18 @@ main(int argc, char **argv)
         sim::Processor sc_proc(sc_cfg, cfg.power, bm.program, bm.ref);
         sim::RunResult sc_run = sc_proc.run(cfg.productionWindow);
 
-        double p = (static_cast<double>(mcd_run.timePs) -
-                    static_cast<double>(sc_run.timePs)) /
-                   static_cast<double>(sc_run.timePs) * 100.0;
-        double e = (mcd_run.chipEnergyNj - sc_run.chipEnergyNj) /
-                   sc_run.chipEnergyNj * 100.0;
-        perf.add(p);
-        energy.add(e);
-        t.row({bench, TextTable::num(p), TextTable::num(e)});
+        perf_pct[i] = (static_cast<double>(mcd_run.timePs) -
+                       static_cast<double>(sc_run.timePs)) /
+                      static_cast<double>(sc_run.timePs) * 100.0;
+        energy_pct[i] =
+            (mcd_run.chipEnergyNj - sc_run.chipEnergyNj) /
+            sc_run.chipEnergyNj * 100.0;
+    });
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        perf.add(perf_pct[i]);
+        energy.add(energy_pct[i]);
+        t.row({benches[i], TextTable::num(perf_pct[i]),
+               TextTable::num(energy_pct[i])});
     }
     t.separator();
     t.row({"average", TextTable::num(perf.mean()),

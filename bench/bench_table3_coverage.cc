@@ -28,7 +28,10 @@ main(int argc, char **argv)
               "ref all", "common LR", "common all", "cov LR",
               "cov all"});
 
-    for (const auto &bench : workload::suiteNames()) {
+    const auto &benches = workload::suiteNames();
+    std::vector<std::vector<std::string>> rows(benches.size());
+    util::parallelFor(benches.size(), jobsOf(cfg), [&](std::size_t i) {
+        const std::string &bench = benches[i];
         workload::Benchmark bm = workload::makeBenchmark(bench);
         core::ProfileConfig pcfg;
         pcfg.maxInstrs = cfg.profileMaxInstrs;
@@ -59,23 +62,27 @@ main(int argc, char **argv)
         std::size_t common_all = common(train_all, ref_all);
         std::size_t common_lr = common(train_lr, ref_lr);
 
-        t.row({bench, std::to_string(train_lr.size()),
-               std::to_string(train_all.size()),
-               std::to_string(ref_lr.size()),
-               std::to_string(ref_all.size()),
-               std::to_string(common_lr),
-               std::to_string(common_all),
-               ref_lr.empty()
-                   ? "-"
-                   : TextTable::num(static_cast<double>(common_lr) /
-                                        ref_lr.size(),
-                                    2),
-               ref_all.empty()
-                   ? "-"
-                   : TextTable::num(static_cast<double>(common_all) /
-                                        ref_all.size(),
-                                    2)});
-    }
+        rows[i] = {bench, std::to_string(train_lr.size()),
+                   std::to_string(train_all.size()),
+                   std::to_string(ref_lr.size()),
+                   std::to_string(ref_all.size()),
+                   std::to_string(common_lr),
+                   std::to_string(common_all),
+                   ref_lr.empty()
+                       ? "-"
+                       : TextTable::num(
+                             static_cast<double>(common_lr) /
+                                 ref_lr.size(),
+                             2),
+                   ref_all.empty()
+                       ? "-"
+                       : TextTable::num(
+                             static_cast<double>(common_all) /
+                                 ref_all.size(),
+                             2)};
+    });
+    for (const auto &row : rows)
+        t.row(row);
     std::printf("Table 3: call-tree nodes, training vs. reference "
                 "(L+F+C+P)\n");
     std::ostringstream os;

@@ -19,9 +19,15 @@ main(int argc, char **argv)
     TextTable t;
     t.header({"benchmark", "st reconf", "st instr", "dyn reconf",
               "dyn instr", "overhead %", "tables KB"});
-    for (const auto &bench : workload::suiteNames()) {
-        auto o = runner.profile(bench, core::ContextMode::LFCP,
-                                HEADLINE_D);
+    const auto &benches = workload::suiteNames();
+    std::vector<exp::SweepCell> cells;
+    for (const auto &bench : benches)
+        cells.push_back(exp::SweepCell::profile(
+            bench, core::ContextMode::LFCP, HEADLINE_D));
+    std::vector<exp::Outcome> out = runner.runSweep(cells);
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const std::string &bench = benches[b];
+        const auto &o = out[b];
         double overhead_pct =
             o.feCycles > 0.0
                 ? o.overheadCycles / o.feCycles * 100.0

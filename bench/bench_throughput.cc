@@ -9,6 +9,7 @@
 
 #include "core/profiler.hh"
 #include "core/shaker.hh"
+#include "exp/experiment.hh"
 #include "sim/processor.hh"
 #include "workload/stream.hh"
 #include "workload/suite.hh"
@@ -98,6 +99,43 @@ BM_ShakerAnalysis(benchmark::State &state)
         static_cast<std::int64_t>(collect.items.size()));
 }
 BENCHMARK(BM_ShakerAnalysis)->Unit(benchmark::kMillisecond);
+
+void
+BM_SweepEngine(benchmark::State &state)
+{
+    // The figure-sweep engine end to end: every {benchmark, policy}
+    // cell of a small headline-style sweep runs as one job on the
+    // work-stealing pool.  The argument is the --jobs thread count;
+    // wall-clock time (UseRealTime) is what parallelism improves.
+    const char *const benches[] = {"gsm_decode", "adpcm_encode",
+                                   "mcf", "gzip"};
+    std::vector<exp::SweepCell> cells;
+    for (const char *b : benches) {
+        cells.push_back(exp::SweepCell::baseline(b));
+        cells.push_back(exp::SweepCell::offline(b, 10.0));
+        cells.push_back(exp::SweepCell::online(b, 1.0));
+    }
+    unsigned jobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        // A fresh in-memory Runner per iteration so every cell is
+        // recomputed rather than served from the memo.
+        exp::ExpConfig cfg;
+        cfg.productionWindow = 20'000;
+        cfg.analysisWindow = 20'000;
+        exp::Runner runner(cfg);
+        auto out = runner.runSweep(cells, jobs);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(cells.size()));
+}
+BENCHMARK(BM_SweepEngine)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 } // namespace
 

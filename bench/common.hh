@@ -8,6 +8,8 @@
  *   --no-cache     ignore and do not write the shared result cache
  *   --cache FILE   result cache path (default ./mcd_bench_cache.csv,
  *                  or $MCD_BENCH_CACHE)
+ *   --jobs N       sweep parallelism (default hardware_concurrency;
+ *                  1 = the old serial loops, byte-identical output)
  */
 
 #ifndef MCD_BENCH_COMMON_HH
@@ -22,6 +24,7 @@
 
 #include "exp/experiment.hh"
 #include "util/logging.hh"
+#include "util/pool.hh"
 #include "util/table.hh"
 #include "workload/suite.hh"
 
@@ -49,9 +52,23 @@ parseArgs(int argc, char **argv)
             cfg.productionWindow =
                 std::strtoull(argv[++i], nullptr, 10);
             cfg.analysisWindow = cfg.productionWindow;
+        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            cfg.jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+            if (cfg.jobs == 0)
+                cfg.jobs = 1;
         }
     }
     return cfg;
+}
+
+/** Sweep parallelism for code that drives util::parallelFor itself
+ *  (the bench binaries that run raw Processor experiments rather
+ *  than Runner policies). */
+inline unsigned
+jobsOf(const exp::ExpConfig &cfg)
+{
+    return cfg.jobs ? cfg.jobs : util::ThreadPool::defaultThreads();
 }
 
 /** One benchmark's headline metrics under the three main policies. */
@@ -65,21 +82,29 @@ struct HeadlineRow
 
 /**
  * The shared headline sweep behind Figures 4, 5 and 6: off-line,
- * on-line and profile-driven L+F on every benchmark (results are
- * memoized in the cache, so the three binaries compute it once).
+ * on-line and profile-driven L+F on every benchmark, as one
+ * runSweep() batch (results are memoized in the cache, so the three
+ * binaries compute it once; the cells run in parallel per --jobs).
  */
 inline std::vector<HeadlineRow>
 headlineSweep(exp::Runner &runner)
 {
+    const auto &benches = workload::suiteNames();
+    std::vector<exp::SweepCell> cells;
+    for (const auto &bench : benches) {
+        cells.push_back(exp::SweepCell::offline(bench, HEADLINE_D));
+        cells.push_back(exp::SweepCell::online(bench, HEADLINE_AGGR));
+        cells.push_back(exp::SweepCell::profile(
+            bench, core::ContextMode::LF, HEADLINE_D));
+    }
+    std::vector<exp::Outcome> out = runner.runSweep(cells);
     std::vector<HeadlineRow> rows;
-    for (const auto &bench : workload::suiteNames()) {
+    for (std::size_t i = 0; i < benches.size(); ++i) {
         HeadlineRow row;
-        row.bench = bench;
-        row.offline = runner.offline(bench, HEADLINE_D).metrics;
-        row.online = runner.online(bench, HEADLINE_AGGR).metrics;
-        row.profile =
-            runner.profile(bench, core::ContextMode::LF, HEADLINE_D)
-                .metrics;
+        row.bench = benches[i];
+        row.offline = out[3 * i].metrics;
+        row.online = out[3 * i + 1].metrics;
+        row.profile = out[3 * i + 2].metrics;
         rows.push_back(row);
     }
     return rows;

@@ -1,13 +1,19 @@
 #include "exp/experiment.hh"
 
-#include <cstdio>
+#include <charconv>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
 #include <fstream>
+#include <locale>
 #include <sstream>
+#include <thread>
 
 #include "control/globaldvs.hh"
 #include "control/offline.hh"
 #include "control/online.hh"
 #include "util/logging.hh"
+#include "util/pool.hh"
 #include "workload/suite.hh"
 
 namespace mcd::exp
@@ -16,48 +22,366 @@ namespace mcd::exp
 namespace
 {
 
-/** Cache schema version: bump when simulation physics change. */
-constexpr int CACHE_VERSION = 1;
+/** Cache schema version: bump when simulation physics or the key or
+ *  line format change.  v2: config fingerprint in every key, strict
+ *  line validation. */
+constexpr int CACHE_VERSION = 2;
+
+/** Numeric payload fields per cache line (after the key). */
+constexpr std::size_t NUM_LINE_FIELDS = 11;
+
+/** FNV-1a accumulator for configFingerprint(). */
+struct Fnv
+{
+    std::uint64_t h = 1469598103934665603ULL;
+
+    void
+    bytes(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (std::size_t i = 0; i < n; ++i)
+            h = (h ^ b[i]) * 1099511628211ULL;
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        bytes(&v, sizeof(v));
+    }
+
+    void
+    i64(long long v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+
+    void
+    f64(double v)
+    {
+        std::uint64_t b;
+        static_assert(sizeof(b) == sizeof(v));
+        std::memcpy(&b, &v, sizeof(b));
+        u64(b);
+    }
+};
 
 std::string
 outcomeToLine(const std::string &key, const Outcome &o)
 {
-    return strprintf(
-        "%s,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,"
-        "%.17g,%.17g",
-        key.c_str(), o.timePs, o.energyNj, o.reconfigs,
-        o.overheadCycles, o.feCycles, o.dynReconfigPoints,
-        o.dynInstrPoints, o.staticReconfigPoints, o.staticInstrPoints,
-        o.tableBytes, o.globalFreq);
+    // The C locale, enforced via classic(), guarantees '.' decimal
+    // points no matter what the embedding application did with
+    // setlocale(); precision 17 round-trips doubles exactly.
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os.precision(17);
+    os << key;
+    const double fields[NUM_LINE_FIELDS] = {
+        o.timePs, o.energyNj, o.reconfigs, o.overheadCycles,
+        o.feCycles, o.dynReconfigPoints, o.dynInstrPoints,
+        o.staticReconfigPoints, o.staticInstrPoints, o.tableBytes,
+        o.globalFreq,
+    };
+    for (double f : fields)
+        os << ',' << f;
+    return os.str();
 }
 
+/** Locale-independent fixed-point format for cache-key parameters
+ *  ('.' decimal separator no matter the global locale, which plain
+ *  strprintf %f would follow). */
+std::string
+fmtFixed(double v, int prec)
+{
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os.setf(std::ios::fixed);
+    os.precision(prec);
+    os << v;
+    return os.str();
+}
+
+/** Locale-independent full-string double parse. */
+bool
+parseDouble(const std::string &cell, double &v)
+{
+    if (cell.empty())
+        return false;
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+    const char *first = cell.data();
+    const char *last = first + cell.size();
+    auto [ptr, ec] = std::from_chars(first, last, v);
+    return ec == std::errc() && ptr == last;
+#else
+    // Fallback for standard libraries without floating-point
+    // from_chars (libc++ < 20): classic-locale stream extraction,
+    // rejecting partial consumption and leading whitespace.
+    std::istringstream is(cell);
+    is.imbue(std::locale::classic());
+    is >> std::noskipws >> v;
+    return !is.fail() && is.eof();
+#endif
+}
+
+/**
+ * Parse one cache line.  Rejects (returns false on) anything that is
+ * not exactly key + NUM_LINE_FIELDS well-formed numbers: truncated
+ * lines from interrupted runs, extra fields, non-numeric cells
+ * (e.g. locale-mangled decimals).
+ */
 bool
 lineToOutcome(const std::string &line, std::string &key, Outcome &o)
 {
-    std::istringstream is(line);
-    std::string cell;
-    if (!std::getline(is, key, ','))
+    std::vector<std::string> cells;
+    std::size_t start = 0;
+    for (;;) {
+        std::size_t comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            cells.push_back(line.substr(start));
+            break;
+        }
+        cells.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+    if (cells.size() != 1 + NUM_LINE_FIELDS || cells[0].empty())
         return false;
-    double *fields[] = {
+    key = cells[0];
+    double *fields[NUM_LINE_FIELDS] = {
         &o.timePs, &o.energyNj, &o.reconfigs, &o.overheadCycles,
         &o.feCycles, &o.dynReconfigPoints, &o.dynInstrPoints,
         &o.staticReconfigPoints, &o.staticInstrPoints, &o.tableBytes,
         &o.globalFreq,
     };
-    for (double *f : fields) {
-        if (!std::getline(is, cell, ','))
+    for (std::size_t i = 0; i < NUM_LINE_FIELDS; ++i)
+        if (!parseDouble(cells[1 + i], *fields[i]))
             return false;
-        *f = std::stod(cell);
-    }
     return true;
 }
 
 } // namespace
 
+std::uint64_t
+configFingerprint(const ExpConfig &cfg)
+{
+    // Every SimConfig/PowerConfig knob, plus the profiling cap; the
+    // remaining ExpConfig parameters (windows, thresholds, intervals,
+    // aggressiveness) are spelled out in the cache-key text itself.
+    // Keep the field list in sync with sim/config.hh and
+    // power/power.hh.
+    Fnv f;
+    const sim::SimConfig &s = cfg.sim;
+    f.i64(s.fetchWidth);
+    f.i64(s.dispatchWidth);
+    f.i64(s.retireWidth);
+    f.i64(s.robSize);
+    f.i64(s.intIqSize);
+    f.i64(s.fpIqSize);
+    f.i64(s.lsqSize);
+    f.i64(s.intRegs);
+    f.i64(s.fpRegs);
+    f.i64(s.intAlus);
+    f.i64(s.intMulDiv);
+    f.i64(s.fpAlus);
+    f.i64(s.fpMulDiv);
+    f.i64(s.memPorts);
+    f.i64(s.intIssueWidth);
+    f.i64(s.fpIssueWidth);
+    f.i64(s.memIssueWidth);
+    f.i64(s.latIntAlu);
+    f.i64(s.latIntMul);
+    f.i64(s.latIntDiv);
+    f.i64(s.latFpAdd);
+    f.i64(s.latFpMul);
+    f.i64(s.latFpDiv);
+    f.i64(s.latFpSqrt);
+    f.i64(s.decodeDepth);
+    f.i64(s.mispredictPenalty);
+    f.i64(s.fetchQueueSize);
+    f.u64(s.lineSize);
+    f.u64(s.l1iSizeKb);
+    f.i64(s.l1iWays);
+    f.u64(s.l1dSizeKb);
+    f.i64(s.l1dWays);
+    f.i64(s.l1Latency);
+    f.u64(s.l2SizeKb);
+    f.i64(s.l2Ways);
+    f.i64(s.l2Latency);
+    f.u64(s.memLatencyPs);
+    f.u64(s.memBusPs);
+    f.f64(s.maxMhz);
+    f.f64(s.minMhz);
+    f.f64(s.maxVolt);
+    f.f64(s.minVolt);
+    f.f64(s.rampNsPerMhz);
+    f.u64(s.jitterPs);
+    f.f64(s.syncWindowFrac);
+    f.u64(s.singleClock ? 1 : 0);
+    f.u64(s.jitterSeed);
+    f.u64(s.watchdogPs);
+
+    const power::PowerConfig &p = cfg.power;
+    for (double v : p.unitPj)
+        f.f64(v);
+    for (double v : p.clockPj)
+        f.f64(v);
+    for (double v : p.leakW)
+        f.f64(v);
+    f.f64(p.vMax);
+    for (double v : p.domainWeight)
+        f.f64(v);
+
+    f.u64(cfg.profileMaxInstrs);
+    return f.h;
+}
+
+/**
+ * Single writer thread owning the cache CSV: one ofstream kept open
+ * for the Runner's lifetime, fed by a queue, flushed on destruction.
+ * store() from any number of sweep threads just enqueues a line.  An
+ * unwritable path or a mid-run write failure is reported once via
+ * warn() and disables further appends (the in-memory memo still
+ * works).
+ */
+class Runner::CacheWriter
+{
+  public:
+    explicit CacheWriter(const std::string &path)
+    {
+        out.imbue(std::locale::classic());
+        out.open(path, std::ios::app);
+        if (!out) {
+            warn("result cache '%s' is not writable; "
+                 "outcomes will not be persisted",
+                 path.c_str());
+            failed = true;
+            return;
+        }
+        thr = std::thread(&CacheWriter::run, this);
+    }
+
+    ~CacheWriter()
+    {
+        if (!thr.joinable())
+            return;
+        {
+            std::lock_guard<std::mutex> l(m);
+            stop = true;
+        }
+        cv.notify_all();
+        thr.join();
+        out.flush();
+    }
+
+    void
+    append(std::string line)
+    {
+        {
+            std::lock_guard<std::mutex> l(m);
+            if (failed)
+                return;
+            q.push_back(std::move(line));
+        }
+        cv.notify_one();
+    }
+
+  private:
+    void
+    run()
+    {
+        std::unique_lock<std::mutex> l(m);
+        for (;;) {
+            cv.wait(l, [this] { return stop || !q.empty(); });
+            while (!q.empty() && !failed) {
+                std::string line = std::move(q.front());
+                q.pop_front();
+                l.unlock();
+                out << line << '\n';
+                bool bad = out.fail();
+                l.lock();
+                if (bad) {
+                    warn("writing to the result cache failed; "
+                         "disabling further appends");
+                    failed = true;
+                    q.clear();
+                }
+            }
+            if (stop)
+                return;
+        }
+    }
+
+    std::ofstream out;
+    std::mutex m;
+    std::condition_variable cv;
+    std::deque<std::string> q;
+    std::thread thr;
+    bool stop = false;
+    bool failed = false;
+};
+
+SweepCell
+SweepCell::baseline(std::string bench)
+{
+    SweepCell c;
+    c.bench = std::move(bench);
+    c.policy = Policy::Baseline;
+    return c;
+}
+
+SweepCell
+SweepCell::profile(std::string bench, core::ContextMode mode, double d)
+{
+    SweepCell c;
+    c.bench = std::move(bench);
+    c.policy = Policy::Profile;
+    c.mode = mode;
+    c.d = d;
+    return c;
+}
+
+SweepCell
+SweepCell::offline(std::string bench, double d)
+{
+    SweepCell c;
+    c.bench = std::move(bench);
+    c.policy = Policy::Offline;
+    c.d = d;
+    return c;
+}
+
+SweepCell
+SweepCell::online(std::string bench, double aggressiveness)
+{
+    SweepCell c;
+    c.bench = std::move(bench);
+    c.policy = Policy::Online;
+    c.aggressiveness = aggressiveness;
+    return c;
+}
+
+SweepCell
+SweepCell::global(std::string bench)
+{
+    SweepCell c;
+    c.bench = std::move(bench);
+    c.policy = Policy::Global;
+    return c;
+}
+
 Runner::Runner(const ExpConfig &c)
-    : cfg(c)
+    : cfg(c), fingerprint(configFingerprint(c))
 {
     loadCache();
+    if (!cfg.cacheFile.empty())
+        writer = std::make_unique<CacheWriter>(cfg.cacheFile);
+}
+
+Runner::~Runner() = default;
+
+std::string
+Runner::keyPrefix() const
+{
+    return strprintf("v%d|c%016llx", CACHE_VERSION,
+                     (unsigned long long)fingerprint);
 }
 
 void
@@ -65,39 +389,89 @@ Runner::loadCache()
 {
     if (cfg.cacheFile.empty())
         return;
-    std::ifstream in(cfg.cacheFile);
+    std::ifstream in;
+    in.imbue(std::locale::classic());
+    in.open(cfg.cacheFile);
     if (!in)
         return;
+    constexpr std::size_t MAX_LINE_WARNINGS = 5;
     std::string line;
+    std::size_t lineno = 0;
     while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
         std::string key;
         Outcome o;
-        if (lineToOutcome(line, key, o))
-            memo[key] = o;
+        if (!lineToOutcome(line, key, o)) {
+            ++nRejected;
+            if (nRejected <= MAX_LINE_WARNINGS)
+                warn("cache %s:%zu: malformed line ignored",
+                     cfg.cacheFile.c_str(), lineno);
+            continue;
+        }
+        std::promise<Outcome> p;
+        p.set_value(o);
+        Shard &s = shardFor(key);
+        // Last occurrence wins, as with the old std::map overwrite.
+        s.map[key] = p.get_future().share();
+        ++nLoaded;
     }
+    if (nRejected > MAX_LINE_WARNINGS)
+        warn("cache %s: %zu malformed lines ignored in total",
+             cfg.cacheFile.c_str(), nRejected);
 }
 
-void
-Runner::appendCache(const std::string &key, const Outcome &o)
+Runner::Shard &
+Runner::shardFor(const std::string &key)
 {
-    if (cfg.cacheFile.empty())
-        return;
-    std::ofstream out(cfg.cacheFile, std::ios::app);
-    out << outcomeToLine(key, o) << '\n';
-}
-
-Outcome *
-Runner::lookup(const std::string &key)
-{
-    auto it = memo.find(key);
-    return it == memo.end() ? nullptr : &it->second;
+    return shards[std::hash<std::string>{}(key) % NUM_SHARDS];
 }
 
 void
 Runner::store(const std::string &key, const Outcome &o)
 {
-    memo[key] = o;
-    appendCache(key, o);
+    if (writer)
+        writer->append(outcomeToLine(key, o));
+}
+
+Outcome
+Runner::memoize(const std::string &key,
+                const std::function<Outcome()> &compute)
+{
+    Shard &s = shardFor(key);
+    std::promise<Outcome> prom;
+    std::shared_future<Outcome> fut;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> l(s.m);
+        auto it = s.map.find(key);
+        if (it != s.map.end()) {
+            fut = it->second;
+        } else {
+            fut = prom.get_future().share();
+            s.map.emplace(key, fut);
+            owner = true;
+        }
+    }
+    if (!owner)
+        return fut.get();
+    try {
+        Outcome o = compute();
+        prom.set_value(o);
+        store(key, o);
+        return o;
+    } catch (...) {
+        // Unblock concurrent waiters with the exception, but drop
+        // the entry so a later request recomputes instead of
+        // rethrowing a stale failure forever.
+        prom.set_exception(std::current_exception());
+        {
+            std::lock_guard<std::mutex> l(s.m);
+            s.map.erase(key);
+        }
+        throw;
+    }
 }
 
 Metrics
@@ -108,22 +482,49 @@ Runner::vsBaseline(const std::string &bench, const Outcome &o)
                           base.energyNj);
 }
 
+std::vector<Outcome>
+Runner::runSweep(const std::vector<SweepCell> &cells, unsigned jobs)
+{
+    std::vector<Outcome> out(cells.size());
+    util::parallelFor(cells.size(), jobs ? jobs : cfg.jobs,
+                      [&](std::size_t i) { out[i] = run(cells[i]); });
+    return out;
+}
+
+Outcome
+Runner::run(const SweepCell &cell)
+{
+    switch (cell.policy) {
+      case Policy::Baseline:
+        return baseline(cell.bench);
+      case Policy::Profile:
+        return profile(cell.bench, cell.mode, cell.d);
+      case Policy::Offline:
+        return offline(cell.bench, cell.d);
+      case Policy::Online:
+        return online(cell.bench, cell.aggressiveness);
+      case Policy::Global:
+        return global(cell.bench);
+    }
+    panic("unknown sweep policy %d", static_cast<int>(cell.policy));
+}
+
 Outcome
 Runner::baseline(const std::string &bench)
 {
-    std::string key = strprintf("v%d|base|%s|w%llu", CACHE_VERSION,
-                                bench.c_str(),
-                                (unsigned long long)cfg.productionWindow);
-    if (Outcome *hit = lookup(key))
-        return *hit;
-    workload::Benchmark bm = workload::makeBenchmark(bench);
-    sim::Processor proc(cfg.sim, cfg.power, bm.program, bm.ref);
-    sim::RunResult r = proc.run(cfg.productionWindow);
-    Outcome o;
-    o.timePs = static_cast<double>(r.timePs);
-    o.energyNj = r.chipEnergyNj;
-    store(key, o);
-    return o;
+    std::string key =
+        strprintf("%s|base|%s|w%llu", keyPrefix().c_str(),
+                  bench.c_str(),
+                  (unsigned long long)cfg.productionWindow);
+    return memoize(key, [&] {
+        workload::Benchmark bm = workload::makeBenchmark(bench);
+        sim::Processor proc(cfg.sim, cfg.power, bm.program, bm.ref);
+        sim::RunResult r = proc.run(cfg.productionWindow);
+        Outcome o;
+        o.timePs = static_cast<double>(r.timePs);
+        o.energyNj = r.chipEnergyNj;
+        return o;
+    });
 }
 
 Outcome
@@ -131,39 +532,39 @@ Runner::profile(const std::string &bench, core::ContextMode mode,
                 double d)
 {
     std::string key = strprintf(
-        "v%d|profile|%s|%s|d%.3f|w%llu|a%llu", CACHE_VERSION,
-        bench.c_str(), core::contextModeName(mode), d,
+        "%s|profile|%s|%s|d%s|w%llu|a%llu", keyPrefix().c_str(),
+        bench.c_str(), core::contextModeName(mode),
+        fmtFixed(d, 3).c_str(),
         (unsigned long long)cfg.productionWindow,
         (unsigned long long)cfg.analysisWindow);
-    if (Outcome *hit = lookup(key)) {
-        Outcome o = *hit;
-        o.metrics = vsBaseline(bench, o);
-        return o;
-    }
-    workload::Benchmark bm = workload::makeBenchmark(bench);
-    core::PipelineConfig pc;
-    pc.mode = mode;
-    pc.slowdownPct = d;
-    pc.profile.maxInstrs = cfg.profileMaxInstrs;
-    pc.analysisWindow = cfg.analysisWindow;
-    core::ProfilePipeline pipe(bm.program, pc);
-    pipe.train(bm.train, cfg.sim, cfg.power);
-    core::RuntimeStats rt;
-    sim::RunResult r = pipe.runProduction(bm.ref, cfg.sim, cfg.power,
-                                          cfg.productionWindow, &rt);
-    Outcome o;
-    o.timePs = static_cast<double>(r.timePs);
-    o.energyNj = r.chipEnergyNj;
-    o.reconfigs = static_cast<double>(r.reconfigs);
-    o.overheadCycles = static_cast<double>(r.overheadCycles);
-    o.feCycles = static_cast<double>(r.feCycles);
-    o.dynReconfigPoints = static_cast<double>(rt.dynReconfigPoints);
-    o.dynInstrPoints = static_cast<double>(rt.dynInstrPoints);
-    o.staticReconfigPoints = pipe.plan().staticReconfigPoints;
-    o.staticInstrPoints = pipe.plan().staticInstrPoints;
-    o.tableBytes = static_cast<double>(pipe.plan().nextNodeTableBytes +
-                                       pipe.plan().freqTableBytes);
-    store(key, o);
+    Outcome o = memoize(key, [&] {
+        workload::Benchmark bm = workload::makeBenchmark(bench);
+        core::PipelineConfig pc;
+        pc.mode = mode;
+        pc.slowdownPct = d;
+        pc.profile.maxInstrs = cfg.profileMaxInstrs;
+        pc.analysisWindow = cfg.analysisWindow;
+        core::ProfilePipeline pipe(bm.program, pc);
+        pipe.train(bm.train, cfg.sim, cfg.power);
+        core::RuntimeStats rt;
+        sim::RunResult r = pipe.runProduction(
+            bm.ref, cfg.sim, cfg.power, cfg.productionWindow, &rt);
+        Outcome res;
+        res.timePs = static_cast<double>(r.timePs);
+        res.energyNj = r.chipEnergyNj;
+        res.reconfigs = static_cast<double>(r.reconfigs);
+        res.overheadCycles = static_cast<double>(r.overheadCycles);
+        res.feCycles = static_cast<double>(r.feCycles);
+        res.dynReconfigPoints =
+            static_cast<double>(rt.dynReconfigPoints);
+        res.dynInstrPoints = static_cast<double>(rt.dynInstrPoints);
+        res.staticReconfigPoints = pipe.plan().staticReconfigPoints;
+        res.staticInstrPoints = pipe.plan().staticInstrPoints;
+        res.tableBytes =
+            static_cast<double>(pipe.plan().nextNodeTableBytes +
+                                pipe.plan().freqTableBytes);
+        return res;
+    });
     o.metrics = vsBaseline(bench, o);
     return o;
 }
@@ -171,27 +572,25 @@ Runner::profile(const std::string &bench, core::ContextMode mode,
 Outcome
 Runner::offline(const std::string &bench, double d)
 {
-    std::string key = strprintf("v%d|offline|%s|d%.3f|w%llu|i%llu",
-                                CACHE_VERSION, bench.c_str(), d,
-                                (unsigned long long)cfg.productionWindow,
-                                (unsigned long long)cfg.offlineInterval);
-    if (Outcome *hit = lookup(key)) {
-        Outcome o = *hit;
-        o.metrics = vsBaseline(bench, o);
-        return o;
-    }
-    workload::Benchmark bm = workload::makeBenchmark(bench);
-    control::OfflineConfig oc;
-    oc.intervalInstrs = cfg.offlineInterval;
-    oc.slowdownPct = d;
-    sim::RunResult r =
-        control::offlineRun(oc, bm.program, bm.ref, cfg.sim, cfg.power,
-                            cfg.productionWindow);
-    Outcome o;
-    o.timePs = static_cast<double>(r.timePs);
-    o.energyNj = r.chipEnergyNj;
-    o.reconfigs = static_cast<double>(r.reconfigs);
-    store(key, o);
+    std::string key = strprintf(
+        "%s|offline|%s|d%s|w%llu|i%llu", keyPrefix().c_str(),
+        bench.c_str(), fmtFixed(d, 3).c_str(),
+        (unsigned long long)cfg.productionWindow,
+        (unsigned long long)cfg.offlineInterval);
+    Outcome o = memoize(key, [&] {
+        workload::Benchmark bm = workload::makeBenchmark(bench);
+        control::OfflineConfig oc;
+        oc.intervalInstrs = cfg.offlineInterval;
+        oc.slowdownPct = d;
+        sim::RunResult r =
+            control::offlineRun(oc, bm.program, bm.ref, cfg.sim,
+                                cfg.power, cfg.productionWindow);
+        Outcome res;
+        res.timePs = static_cast<double>(r.timePs);
+        res.energyNj = r.chipEnergyNj;
+        res.reconfigs = static_cast<double>(r.reconfigs);
+        return res;
+    });
     o.metrics = vsBaseline(bench, o);
     return o;
 }
@@ -199,31 +598,28 @@ Runner::offline(const std::string &bench, double d)
 Outcome
 Runner::online(const std::string &bench, double aggressiveness)
 {
-    std::string key = strprintf("v%d|online|%s|a%.3f|w%llu",
-                                CACHE_VERSION, bench.c_str(),
-                                aggressiveness,
-                                (unsigned long long)cfg.productionWindow);
-    if (Outcome *hit = lookup(key)) {
-        Outcome o = *hit;
-        o.metrics = vsBaseline(bench, o);
-        return o;
-    }
-    workload::Benchmark bm = workload::makeBenchmark(bench);
-    control::OnlineConfig oc;
-    oc.aggressiveness = aggressiveness;
-    oc.intIqSize = cfg.sim.intIqSize;
-    oc.fpIqSize = cfg.sim.fpIqSize;
-    oc.lsqSize = cfg.sim.lsqSize;
-    oc.robSize = cfg.sim.robSize;
-    control::AttackDecayController ctl(oc, cfg.sim);
-    sim::Processor proc(cfg.sim, cfg.power, bm.program, bm.ref);
-    proc.setIntervalHook(&ctl, oc.intervalInstrs);
-    sim::RunResult r = proc.run(cfg.productionWindow);
-    Outcome o;
-    o.timePs = static_cast<double>(r.timePs);
-    o.energyNj = r.chipEnergyNj;
-    o.reconfigs = static_cast<double>(r.reconfigs);
-    store(key, o);
+    std::string key = strprintf(
+        "%s|online|%s|a%s|w%llu", keyPrefix().c_str(),
+        bench.c_str(), fmtFixed(aggressiveness, 3).c_str(),
+        (unsigned long long)cfg.productionWindow);
+    Outcome o = memoize(key, [&] {
+        workload::Benchmark bm = workload::makeBenchmark(bench);
+        control::OnlineConfig oc;
+        oc.aggressiveness = aggressiveness;
+        oc.intIqSize = cfg.sim.intIqSize;
+        oc.fpIqSize = cfg.sim.fpIqSize;
+        oc.lsqSize = cfg.sim.lsqSize;
+        oc.robSize = cfg.sim.robSize;
+        control::AttackDecayController ctl(oc, cfg.sim);
+        sim::Processor proc(cfg.sim, cfg.power, bm.program, bm.ref);
+        proc.setIntervalHook(&ctl, oc.intervalInstrs);
+        sim::RunResult r = proc.run(cfg.productionWindow);
+        Outcome res;
+        res.timePs = static_cast<double>(r.timePs);
+        res.energyNj = r.chipEnergyNj;
+        res.reconfigs = static_cast<double>(r.reconfigs);
+        return res;
+    });
     o.metrics = vsBaseline(bench, o);
     return o;
 }
@@ -231,25 +627,27 @@ Runner::online(const std::string &bench, double aggressiveness)
 Outcome
 Runner::global(const std::string &bench)
 {
-    std::string key = strprintf("v%d|global|%s|d%.3f|w%llu",
-                                CACHE_VERSION, bench.c_str(), cfg.d,
-                                (unsigned long long)cfg.productionWindow);
-    if (Outcome *hit = lookup(key)) {
-        Outcome o = *hit;
-        o.metrics = vsBaseline(bench, o);
-        return o;
-    }
-    // Target: match the off-line algorithm's run time (Section 4.1).
-    Outcome off = offline(bench, cfg.d);
-    workload::Benchmark bm = workload::makeBenchmark(bench);
-    control::GlobalDvsResult g = control::globalDvsMatch(
-        bm.program, bm.ref, cfg.sim, cfg.power, cfg.productionWindow,
-        static_cast<Tick>(off.timePs));
-    Outcome o;
-    o.timePs = static_cast<double>(g.run.timePs);
-    o.energyNj = g.run.chipEnergyNj;
-    o.globalFreq = g.freq;
-    store(key, o);
+    // The interval is part of the key because the off-line run this
+    // policy matches (below) depends on it.
+    std::string key =
+        strprintf("%s|global|%s|d%s|w%llu|i%llu", keyPrefix().c_str(),
+                  bench.c_str(), fmtFixed(cfg.d, 3).c_str(),
+                  (unsigned long long)cfg.productionWindow,
+                  (unsigned long long)cfg.offlineInterval);
+    Outcome o = memoize(key, [&] {
+        // Target: match the off-line algorithm's run time
+        // (Section 4.1).
+        Outcome off = offline(bench, cfg.d);
+        workload::Benchmark bm = workload::makeBenchmark(bench);
+        control::GlobalDvsResult g = control::globalDvsMatch(
+            bm.program, bm.ref, cfg.sim, cfg.power,
+            cfg.productionWindow, static_cast<Tick>(off.timePs));
+        Outcome res;
+        res.timePs = static_cast<double>(g.run.timePs);
+        res.energyNj = g.run.chipEnergyNj;
+        res.globalFreq = g.freq;
+        return res;
+    });
     o.metrics = vsBaseline(bench, o);
     return o;
 }

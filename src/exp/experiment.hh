@@ -6,16 +6,32 @@
  * global-DVS baseline, computing the paper's metrics (always
  * relative to the MCD baseline, Section 4.1).
  *
- * Results are memoized in an optional CSV cache file keyed by
- * benchmark/policy/parameters so that the per-figure bench binaries
- * do not recompute shared sweeps.
+ * The harness is a parallel sweep engine: every {benchmark, policy,
+ * parameter} cell of a figure is an independent job, and
+ * Runner::runSweep() spreads the cells over a work-stealing thread
+ * pool (`--jobs N` in the bench binaries; `--jobs 1` reproduces the
+ * old serial loops exactly).
+ *
+ * Results are memoized in a sharded in-memory map and, optionally,
+ * appended to a CSV cache file by a single writer thread so that the
+ * per-figure bench binaries do not recompute shared sweeps.  Cache
+ * keys embed a fingerprint of the active SimConfig/PowerConfig so
+ * binaries run with different configurations can share one cache
+ * file without reading each other's outcomes.
  */
 
 #ifndef MCD_EXP_EXPERIMENT_HH
 #define MCD_EXP_EXPERIMENT_HH
 
-#include <map>
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "core/pipeline.hh"
 #include "power/power.hh"
@@ -44,6 +60,8 @@ struct ExpConfig
     double onlineAggressiveness = 1.0;
     /** CSV memo file; empty = in-memory only. */
     std::string cacheFile;
+    /** Sweep parallelism; 0 = hardware_concurrency(). */
+    unsigned jobs = 0;
 
     ExpConfig()
     {
@@ -54,6 +72,15 @@ struct ExpConfig
         sim.rampNsPerMhz = 2.2;
     }
 };
+
+/**
+ * 64-bit FNV-1a fingerprint of every SimConfig/PowerConfig knob (and
+ * the profiling cap) that shapes an outcome but is not spelled out in
+ * the cache-key text.  Folded into every memo-cache key so two
+ * harnesses with different configurations never exchange outcomes
+ * through a shared cache file.
+ */
+std::uint64_t configFingerprint(const ExpConfig &cfg);
 
 /** Result of one policy run on one benchmark. */
 struct Outcome
@@ -74,13 +101,65 @@ struct Outcome
     double globalFreq = 0.0;
 };
 
+/** The reconfiguration policies a sweep cell can run. */
+enum class Policy
+{
+    Baseline,  ///< MCD, all domains at maximum frequency
+    Profile,   ///< profile-driven (mode, d)
+    Offline,   ///< off-line perfect-knowledge oracle (d)
+    Online,    ///< attack/decay controller (aggressiveness)
+    Global,    ///< chip-wide DVS matched to the off-line run time
+};
+
 /**
- * Memoizing experiment runner.
+ * One independently-runnable {benchmark, policy, parameter} cell of
+ * a sweep.  Build cells with the named factories.
+ */
+struct SweepCell
+{
+    std::string bench;
+    Policy policy = Policy::Baseline;
+    core::ContextMode mode = core::ContextMode::LF;  ///< Profile only
+    double d = 0.0;              ///< Profile/Offline threshold
+    double aggressiveness = 1.0; ///< Online only
+
+    static SweepCell baseline(std::string bench);
+    static SweepCell profile(std::string bench, core::ContextMode mode,
+                             double d);
+    static SweepCell offline(std::string bench, double d);
+    static SweepCell online(std::string bench, double aggressiveness);
+    static SweepCell global(std::string bench);
+};
+
+/**
+ * Memoizing, concurrency-safe experiment runner.
+ *
+ * The policy entry points (baseline/profile/offline/online/global)
+ * may be called from any number of threads; runSweep() is the
+ * batch interface the bench binaries use.
  */
 class Runner
 {
   public:
     explicit Runner(const ExpConfig &cfg = ExpConfig());
+    ~Runner();
+
+    Runner(const Runner &) = delete;
+    Runner &operator=(const Runner &) = delete;
+
+    /**
+     * Run every cell, spreading them over a work-stealing pool of
+     * @p jobs threads (0 = the config's `jobs`, which itself
+     * defaults to hardware_concurrency()).  Results come back in
+     * cell order regardless of the thread count, and with one job
+     * the cells run inline, in order, on the calling thread — so
+     * `--jobs 1` output is byte-identical to the old serial loops.
+     */
+    std::vector<Outcome> runSweep(const std::vector<SweepCell> &cells,
+                                  unsigned jobs = 0);
+
+    /** Run one cell (dispatches on its policy). */
+    Outcome run(const SweepCell &cell);
 
     /** MCD baseline: all domains at maximum frequency. */
     Outcome baseline(const std::string &bench);
@@ -102,15 +181,41 @@ class Runner
 
     const ExpConfig &config() const { return cfg; }
 
+    /** Entries accepted from the CSV cache file at construction. */
+    std::size_t loadedFromCache() const { return nLoaded; }
+
+    /** Non-empty CSV lines rejected as malformed at construction. */
+    std::size_t rejectedCacheLines() const { return nRejected; }
+
   private:
-    Outcome *lookup(const std::string &key);
+    class CacheWriter;
+
+    /** One lock-sharded slice of the memo map.  Values are shared
+     *  futures so concurrent requests for one key compute it once:
+     *  the inserting thread computes, the others block on the
+     *  future. */
+    struct Shard
+    {
+        std::mutex m;
+        std::unordered_map<std::string, std::shared_future<Outcome>>
+            map;
+    };
+    static constexpr std::size_t NUM_SHARDS = 16;
+
+    Shard &shardFor(const std::string &key);
+    Outcome memoize(const std::string &key,
+                    const std::function<Outcome()> &compute);
     void store(const std::string &key, const Outcome &o);
     void loadCache();
-    void appendCache(const std::string &key, const Outcome &o);
     Metrics vsBaseline(const std::string &bench, const Outcome &o);
+    std::string keyPrefix() const;
 
     ExpConfig cfg;
-    std::map<std::string, Outcome> memo;
+    std::uint64_t fingerprint;
+    std::array<Shard, NUM_SHARDS> shards;
+    std::unique_ptr<CacheWriter> writer;
+    std::size_t nLoaded = 0;
+    std::size_t nRejected = 0;
 };
 
 } // namespace mcd::exp

@@ -1,0 +1,177 @@
+#include "util/pool.hh"
+
+#include <algorithm>
+
+namespace mcd::util
+{
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned n)
+    : nThreads(n ? n : defaultThreads())
+{
+    if (nThreads == 1)
+        return;  // inline mode: no workers, submit() runs the job
+    workers.reserve(nThreads);
+    for (unsigned i = 0; i < nThreads; ++i)
+        workers.push_back(std::make_unique<Worker>());
+    threads.reserve(nThreads);
+    for (unsigned i = 0; i < nThreads; ++i)
+        threads.emplace_back(&ThreadPool::workerLoop, this, i);
+}
+
+ThreadPool::~ThreadPool()
+{
+    if (nThreads == 1)
+        return;
+    {
+        std::unique_lock<std::mutex> l(m);
+        cvIdle.wait(l, [this] { return inflight == 0; });
+        stopping = true;
+    }
+    cvWork.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::runJob(const std::function<void()> &job)
+{
+    try {
+        job();
+    } catch (...) {
+        std::lock_guard<std::mutex> l(m);
+        if (!firstError)
+            firstError = std::current_exception();
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    if (nThreads == 1) {
+        runJob(job);
+        return;
+    }
+    std::size_t w;
+    {
+        std::lock_guard<std::mutex> l(m);
+        w = nextWorker++ % workers.size();
+        ++inflight;
+    }
+    {
+        std::lock_guard<std::mutex> l(workers[w]->m);
+        workers[w]->q.push_back(std::move(job));
+    }
+    cvWork.notify_one();
+}
+
+bool
+ThreadPool::popFrom(std::size_t w, std::function<void()> &job)
+{
+    Worker &wk = *workers[w];
+    std::lock_guard<std::mutex> l(wk.m);
+    if (wk.q.empty())
+        return false;
+    job = std::move(wk.q.front());
+    wk.q.pop_front();
+    return true;
+}
+
+bool
+ThreadPool::stealFor(std::size_t w, std::function<void()> &job)
+{
+    // Steal from the back of the victim's deque, scanning siblings
+    // starting just past our own slot so thieves spread out.
+    for (std::size_t i = 1; i < workers.size(); ++i) {
+        Worker &victim = *workers[(w + i) % workers.size()];
+        std::lock_guard<std::mutex> l(victim.m);
+        if (victim.q.empty())
+            continue;
+        job = std::move(victim.q.back());
+        victim.q.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t w)
+{
+    for (;;) {
+        {
+            // Sleep until a job is queued somewhere or we are told to
+            // stop.  A false wakeup just loops back here.
+            std::unique_lock<std::mutex> l(m);
+            cvWork.wait(l, [this] {
+                if (stopping)
+                    return true;
+                for (const auto &wk : workers) {
+                    std::lock_guard<std::mutex> ql(wk->m);
+                    if (!wk->q.empty())
+                        return true;
+                }
+                return false;
+            });
+            if (stopping)
+                return;
+        }
+        std::function<void()> job;
+        if (!popFrom(w, job) && !stealFor(w, job))
+            continue;  // a sibling got there first
+        runJob(job);
+        {
+            std::lock_guard<std::mutex> l(m);
+            --inflight;
+        }
+        cvIdle.notify_all();
+        // Drain without round-tripping through the sleep above.
+        while (popFrom(w, job) || stealFor(w, job)) {
+            runJob(job);
+            {
+                std::lock_guard<std::mutex> l(m);
+                --inflight;
+            }
+            cvIdle.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> l(m);
+        cvIdle.wait(l, [this] { return inflight == 0; });
+        err = firstError;
+        firstError = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+parallelFor(std::size_t n, unsigned jobs,
+            const std::function<void(std::size_t)> &fn)
+{
+    unsigned want = jobs ? jobs : ThreadPool::defaultThreads();
+    unsigned nthreads = static_cast<unsigned>(
+        std::min<std::size_t>(want, n ? n : 1));
+    if (nthreads <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(nthreads);
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace mcd::util

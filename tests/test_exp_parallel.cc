@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine and the memo-cache correctness
+ * fixes: jobs=1 vs jobs=8 equivalence, concurrent store() safety,
+ * strict cache-line validation, config-fingerprint keying, and
+ * graceful handling of unwritable cache paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "workload/suite.hh"
+
+using namespace mcd;
+using exp::ExpConfig;
+using exp::Outcome;
+using exp::Runner;
+using exp::SweepCell;
+
+namespace
+{
+
+/** Small windows so a full policy set stays test-sized. */
+ExpConfig
+smallConfig()
+{
+    ExpConfig cfg;
+    cfg.productionWindow = 8'000;
+    cfg.analysisWindow = 8'000;
+    cfg.offlineInterval = 4'000;
+    return cfg;
+}
+
+std::string
+tempCachePath(const char *name)
+{
+    return ::testing::TempDir() + "mcd_exp_parallel_" + name + ".csv";
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        if (!line.empty())
+            lines.push_back(line);
+    return lines;
+}
+
+void
+expectSameOutcome(const Outcome &a, const Outcome &b)
+{
+    EXPECT_DOUBLE_EQ(a.timePs, b.timePs);
+    EXPECT_DOUBLE_EQ(a.energyNj, b.energyNj);
+    EXPECT_DOUBLE_EQ(a.reconfigs, b.reconfigs);
+    EXPECT_DOUBLE_EQ(a.overheadCycles, b.overheadCycles);
+    EXPECT_DOUBLE_EQ(a.feCycles, b.feCycles);
+    EXPECT_DOUBLE_EQ(a.dynReconfigPoints, b.dynReconfigPoints);
+    EXPECT_DOUBLE_EQ(a.dynInstrPoints, b.dynInstrPoints);
+    EXPECT_DOUBLE_EQ(a.staticReconfigPoints, b.staticReconfigPoints);
+    EXPECT_DOUBLE_EQ(a.staticInstrPoints, b.staticInstrPoints);
+    EXPECT_DOUBLE_EQ(a.tableBytes, b.tableBytes);
+    EXPECT_DOUBLE_EQ(a.globalFreq, b.globalFreq);
+    EXPECT_DOUBLE_EQ(a.metrics.slowdownPct, b.metrics.slowdownPct);
+    EXPECT_DOUBLE_EQ(a.metrics.energySavingsPct,
+                     b.metrics.energySavingsPct);
+    EXPECT_DOUBLE_EQ(a.metrics.energyDelayImprovementPct,
+                     b.metrics.energyDelayImprovementPct);
+}
+
+/** Every policy on two benchmarks: 10 interdependent cells. */
+std::vector<SweepCell>
+allPolicyCells()
+{
+    std::vector<SweepCell> cells;
+    for (const char *bench : {"gsm_decode", "adpcm_decode"}) {
+        cells.push_back(SweepCell::baseline(bench));
+        cells.push_back(
+            SweepCell::profile(bench, core::ContextMode::LF, 10.0));
+        cells.push_back(SweepCell::offline(bench, 10.0));
+        cells.push_back(SweepCell::online(bench, 1.0));
+        cells.push_back(SweepCell::global(bench));
+    }
+    return cells;
+}
+
+} // namespace
+
+TEST(ExpParallel, JobsOneAndJobsEightAgreeExactly)
+{
+    std::vector<SweepCell> cells = allPolicyCells();
+    Runner serial(smallConfig());
+    std::vector<Outcome> s = serial.runSweep(cells, 1);
+    Runner parallel(smallConfig());
+    std::vector<Outcome> p = parallel.runSweep(cells, 8);
+    ASSERT_EQ(s.size(), cells.size());
+    ASSERT_EQ(p.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        expectSameOutcome(s[i], p[i]);
+    }
+}
+
+TEST(ExpParallel, ConcurrentStoresLoseNoLines)
+{
+    std::string path = tempCachePath("concurrent");
+    std::remove(path.c_str());
+    ExpConfig cfg = smallConfig();
+    cfg.cacheFile = path;
+    const auto &suite = workload::suiteNames();
+    ASSERT_GE(suite.size(), 6u);
+    std::vector<SweepCell> cells;
+    for (std::size_t i = 0; i < 6; ++i) {
+        cells.push_back(SweepCell::baseline(suite[i]));
+        cells.push_back(SweepCell::offline(suite[i], 10.0));
+    }
+    {
+        Runner r(cfg);
+        r.runSweep(cells, 8);
+    }  // destructor drains + flushes the writer thread
+    // 6 baseline + 6 offline outcomes, no duplicates, no torn lines.
+    EXPECT_EQ(readLines(path).size(), 12u);
+    Runner reload(cfg);
+    EXPECT_EQ(reload.loadedFromCache(), 12u);
+    EXPECT_EQ(reload.rejectedCacheLines(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(ExpParallel, DuplicateCellsComputeOnce)
+{
+    std::string path = tempCachePath("dedup");
+    std::remove(path.c_str());
+    ExpConfig cfg = smallConfig();
+    cfg.cacheFile = path;
+    std::vector<SweepCell> cells(
+        16, SweepCell::baseline("gsm_decode"));
+    std::vector<Outcome> out;
+    {
+        Runner r(cfg);
+        out = r.runSweep(cells, 8);
+    }
+    for (std::size_t i = 1; i < out.size(); ++i)
+        expectSameOutcome(out[0], out[i]);
+    // 16 requests for one key -> exactly one computation and one
+    // cache line.
+    EXPECT_EQ(readLines(path).size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(ExpParallel, CacheHitShortCircuitsRecomputation)
+{
+    std::string path = tempCachePath("hit");
+    std::remove(path.c_str());
+    ExpConfig cfg = smallConfig();
+    cfg.cacheFile = path;
+    {
+        Runner r(cfg);
+        r.baseline("gsm_decode");
+    }
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    // Rewrite the stored outcome with a sentinel time; a second
+    // runner must serve the sentinel (cache hit), not recompute.
+    std::string key = lines[0].substr(0, lines[0].find(','));
+    std::ofstream(path, std::ios::trunc)
+        << key << ",12345,1,0,0,0,0,0,0,0,0,0\n";
+    Runner reload(cfg);
+    EXPECT_EQ(reload.loadedFromCache(), 1u);
+    EXPECT_DOUBLE_EQ(reload.baseline("gsm_decode").timePs, 12345.0);
+    std::remove(path.c_str());
+}
+
+TEST(ExpParallel, MismatchedConfigFingerprintMissesCache)
+{
+    ExpConfig a = smallConfig();
+    ExpConfig same = smallConfig();
+    ExpConfig b = smallConfig();
+    b.sim.singleClock = true;
+    ExpConfig c = smallConfig();
+    c.sim.rampNsPerMhz *= 2.0;
+    EXPECT_EQ(exp::configFingerprint(a), exp::configFingerprint(same));
+    EXPECT_NE(exp::configFingerprint(a), exp::configFingerprint(b));
+    EXPECT_NE(exp::configFingerprint(a), exp::configFingerprint(c));
+
+    // A sentinel outcome stored under config a's key must not be
+    // served to a runner configured with b.
+    std::string path = tempCachePath("fingerprint");
+    std::remove(path.c_str());
+    a.cacheFile = b.cacheFile = path;
+    {
+        Runner r(a);
+        r.baseline("gsm_decode");
+    }
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    std::string key = lines[0].substr(0, lines[0].find(','));
+    std::ofstream(path, std::ios::trunc)
+        << key << ",12345,1,0,0,0,0,0,0,0,0,0\n";
+    Runner rb(b);
+    EXPECT_EQ(rb.loadedFromCache(), 1u);  // line loads under a's key
+    Outcome ob = rb.baseline("gsm_decode");  // ...but b recomputes
+    EXPECT_NE(ob.timePs, 12345.0);
+    std::remove(path.c_str());
+}
+
+TEST(ExpParallel, MalformedCacheLinesAreRejected)
+{
+    std::string path = tempCachePath("malformed");
+    std::remove(path.c_str());
+    ExpConfig cfg = smallConfig();
+    cfg.cacheFile = path;
+    {
+        Runner r(cfg);
+        r.baseline("gsm_decode");
+    }
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    const std::string &good = lines[0];
+    std::string truncated = good.substr(0, good.size() / 2);
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << good << '\n';
+        out << truncated << '\n';          // interrupted-run tail
+        out << good << ",99\n";            // extra field
+        out << "k,1,2,3,4,5,6,7,8,9,1.5x,11\n";  // bad numeric
+        out << ",1,2,3,4,5,6,7,8,9,10,11\n";     // empty key
+        out << '\n';                       // blank line: ignored
+        out << good;                       // no trailing newline: ok
+    }
+    Runner reload(cfg);
+    EXPECT_EQ(reload.loadedFromCache(), 2u);
+    EXPECT_EQ(reload.rejectedCacheLines(), 4u);
+    std::remove(path.c_str());
+}
+
+TEST(ExpParallel, UnwritableCachePathDegradesGracefully)
+{
+    ExpConfig cfg = smallConfig();
+    cfg.cacheFile = "/nonexistent-mcd-dir/deep/cache.csv";
+    Runner r(cfg);  // warns once, then runs without persistence
+    Outcome o = r.baseline("gsm_decode");
+    EXPECT_GT(o.timePs, 0.0);
+    // The in-memory memo still works across a second request.
+    expectSameOutcome(o, r.baseline("gsm_decode"));
+}
+
+TEST(ExpParallel, SweepResultsMatchDirectPolicyCalls)
+{
+    // The batch API must be a pure reordering of the entry points
+    // the old serial bench loops used.
+    ExpConfig cfg = smallConfig();
+    Runner sweep(cfg);
+    std::vector<SweepCell> cells = allPolicyCells();
+    std::vector<Outcome> out = sweep.runSweep(cells, 8);
+    Runner direct(cfg);
+    std::size_t i = 0;
+    for (const char *bench : {"gsm_decode", "adpcm_decode"}) {
+        SCOPED_TRACE(bench);
+        expectSameOutcome(out[i++], direct.baseline(bench));
+        expectSameOutcome(
+            out[i++],
+            direct.profile(bench, core::ContextMode::LF, 10.0));
+        expectSameOutcome(out[i++], direct.offline(bench, 10.0));
+        expectSameOutcome(out[i++], direct.online(bench, 1.0));
+        expectSameOutcome(out[i++], direct.global(bench));
+    }
+}
