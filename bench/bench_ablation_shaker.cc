@@ -59,7 +59,10 @@ int
 main(int argc, char **argv)
 {
     using namespace mcd::bench;
-    exp::ExpConfig cfg = parseArgs(argc, argv);
+    Options opt = parseArgs(argc, argv);
+    if (runPolicyOverride(opt))
+        return 0;
+    const exp::ExpConfig &cfg = opt.cfg;
 
     TextTable t;
     t.header({"benchmark", "variant", "fe MHz", "int MHz", "fp MHz",

@@ -20,7 +20,10 @@ int
 main(int argc, char **argv)
 {
     using namespace mcd::bench;
-    exp::ExpConfig cfg = parseArgs(argc, argv);
+    Options opt = parseArgs(argc, argv);
+    if (runPolicyOverride(opt))
+        return 0;
+    const exp::ExpConfig &cfg = opt.cfg;
     const std::uint64_t window = 60'000;
 
     TextTable t;

@@ -12,7 +12,10 @@ main(int argc, char **argv)
 {
     using namespace mcd;
     using namespace mcd::bench;
-    exp::Runner runner(parseArgs(argc, argv));
+    Options opt = parseArgs(argc, argv);
+    if (runPolicyOverride(opt))
+        return 0;
+    exp::Runner runner(opt.cfg);
     auto rows = headlineSweep(runner);
     printHeadlineTable(rows, "Figure 5: energy savings", "%",
                        &Metrics::energySavingsPct);

@@ -15,7 +15,10 @@ main(int argc, char **argv)
 {
     using namespace mcd;
     using namespace mcd::bench;
-    exp::Runner runner(parseArgs(argc, argv));
+    Options opt = parseArgs(argc, argv);
+    if (runPolicyOverride(opt))
+        return 0;
+    exp::Runner runner(opt.cfg);
 
     struct Method
     {
@@ -32,11 +35,19 @@ main(int argc, char **argv)
     const auto &benches = workload::suiteNames();
     std::vector<exp::SweepCell> cells;
     for (const auto &bench : benches) {
-        cells.push_back(exp::SweepCell::global(bench));
-        cells.push_back(exp::SweepCell::online(bench, HEADLINE_AGGR));
-        cells.push_back(exp::SweepCell::offline(bench, HEADLINE_D));
-        cells.push_back(exp::SweepCell::profile(
-            bench, core::ContextMode::LF, HEADLINE_D));
+        cells.push_back(exp::SweepCell::of(
+            bench,
+            control::PolicySpec::of("global").set("d", HEADLINE_D)));
+        cells.push_back(exp::SweepCell::of(
+            bench, control::PolicySpec::of("online").set(
+                       "aggr", HEADLINE_AGGR)));
+        cells.push_back(exp::SweepCell::of(
+            bench,
+            control::PolicySpec::of("offline").set("d", HEADLINE_D)));
+        cells.push_back(exp::SweepCell::of(
+            bench, control::PolicySpec::of("profile")
+                       .set("mode", core::ContextMode::LF)
+                       .set("d", HEADLINE_D)));
     }
     std::vector<exp::Outcome> out = runner.runSweep(cells);
     for (std::size_t b = 0; b < benches.size(); ++b) {

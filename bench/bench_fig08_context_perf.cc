@@ -30,7 +30,10 @@ main(int argc, char **argv)
 {
     using namespace mcd;
     using namespace mcd::bench;
-    exp::Runner runner(parseArgs(argc, argv));
+    Options opt = parseArgs(argc, argv);
+    if (runPolicyOverride(opt))
+        return 0;
+    exp::Runner runner(opt.cfg);
 
     TextTable t;
     std::vector<std::string> head = {"benchmark"};
@@ -40,8 +43,10 @@ main(int argc, char **argv)
     std::vector<exp::SweepCell> cells;
     for (const char *bench : interesting)
         for (auto m : modes)
-            cells.push_back(
-                exp::SweepCell::profile(bench, m, HEADLINE_D));
+            cells.push_back(exp::SweepCell::of(
+                bench, control::PolicySpec::of("profile")
+                           .set("mode", m)
+                           .set("d", HEADLINE_D)));
     std::vector<exp::Outcome> out = runner.runSweep(cells);
     std::size_t i = 0;
     for (const char *bench : interesting) {

@@ -13,7 +13,10 @@ main(int argc, char **argv)
 {
     using namespace mcd;
     using namespace mcd::bench;
-    exp::Runner runner(parseArgs(argc, argv));
+    Options opt = parseArgs(argc, argv);
+    if (runPolicyOverride(opt))
+        return 0;
+    exp::Runner runner(opt.cfg);
 
     const double d_points[] = {2.0, 4.0, 6.0, 10.0, 14.0, 20.0};
     const double aggr_points[] = {0.25, 0.5, 1.0, 2.0, 3.5, 6.0};
@@ -22,14 +25,20 @@ main(int argc, char **argv)
     std::vector<exp::SweepCell> cells;
     for (double d : d_points)
         for (const auto &bench : benches)
-            cells.push_back(exp::SweepCell::offline(bench, d));
+            cells.push_back(exp::SweepCell::of(
+                bench,
+                control::PolicySpec::of("offline").set("d", d)));
     for (double d : d_points)
         for (const auto &bench : benches)
-            cells.push_back(exp::SweepCell::profile(
-                bench, core::ContextMode::LF, d));
+            cells.push_back(exp::SweepCell::of(
+                bench, control::PolicySpec::of("profile")
+                           .set("mode", core::ContextMode::LF)
+                           .set("d", d)));
     for (double a : aggr_points)
         for (const auto &bench : benches)
-            cells.push_back(exp::SweepCell::online(bench, a));
+            cells.push_back(exp::SweepCell::of(
+                bench,
+                control::PolicySpec::of("online").set("aggr", a)));
     std::vector<exp::Outcome> out = runner.runSweep(cells);
 
     TextTable t;

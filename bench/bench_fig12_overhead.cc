@@ -16,7 +16,10 @@ main(int argc, char **argv)
 {
     using namespace mcd;
     using namespace mcd::bench;
-    exp::Runner runner(parseArgs(argc, argv));
+    Options opt = parseArgs(argc, argv);
+    if (runPolicyOverride(opt))
+        return 0;
+    exp::Runner runner(opt.cfg);
 
     const core::ContextMode modes[] = {
         core::ContextMode::LFCP, core::ContextMode::LFP,
@@ -33,8 +36,10 @@ main(int argc, char **argv)
     std::vector<exp::SweepCell> cells;
     for (const auto &bench : benches)
         for (int i = 0; i < 6; ++i)
-            cells.push_back(exp::SweepCell::profile(
-                bench, modes[i], HEADLINE_D));
+            cells.push_back(exp::SweepCell::of(
+                bench, control::PolicySpec::of("profile")
+                           .set("mode", modes[i])
+                           .set("d", HEADLINE_D)));
     std::vector<exp::Outcome> out = runner.runSweep(cells);
     for (std::size_t b = 0; b < benches.size(); ++b) {
         for (int i = 0; i < 6; ++i) {

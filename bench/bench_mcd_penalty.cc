@@ -17,7 +17,10 @@ main(int argc, char **argv)
 {
     using namespace mcd;
     using namespace mcd::bench;
-    exp::ExpConfig cfg = parseArgs(argc, argv);
+    Options opt = parseArgs(argc, argv);
+    if (runPolicyOverride(opt))
+        return 0;
+    const exp::ExpConfig &cfg = opt.cfg;
 
     TextTable t;
     t.header({"benchmark", "perf penalty %", "energy penalty %"});

@@ -14,7 +14,10 @@ main(int argc, char **argv)
 {
     using namespace mcd;
     using namespace mcd::bench;
-    exp::Runner runner(parseArgs(argc, argv));
+    Options opt = parseArgs(argc, argv);
+    if (runPolicyOverride(opt))
+        return 0;
+    exp::Runner runner(opt.cfg);
 
     TextTable t;
     t.header({"benchmark", "st reconf", "st instr", "dyn reconf",
@@ -22,8 +25,10 @@ main(int argc, char **argv)
     const auto &benches = workload::suiteNames();
     std::vector<exp::SweepCell> cells;
     for (const auto &bench : benches)
-        cells.push_back(exp::SweepCell::profile(
-            bench, core::ContextMode::LFCP, HEADLINE_D));
+        cells.push_back(exp::SweepCell::of(
+            bench, control::PolicySpec::of("profile")
+                       .set("mode", core::ContextMode::LFCP)
+                       .set("d", HEADLINE_D)));
     std::vector<exp::Outcome> out = runner.runSweep(cells);
     for (std::size_t b = 0; b < benches.size(); ++b) {
         const std::string &bench = benches[b];

@@ -111,9 +111,9 @@ BM_SweepEngine(benchmark::State &state)
                                    "mcf", "gzip"};
     std::vector<exp::SweepCell> cells;
     for (const char *b : benches) {
-        cells.push_back(exp::SweepCell::baseline(b));
-        cells.push_back(exp::SweepCell::offline(b, 10.0));
-        cells.push_back(exp::SweepCell::online(b, 1.0));
+        cells.push_back(exp::SweepCell::of(b, "baseline"));
+        cells.push_back(exp::SweepCell::of(b, "offline:d=10"));
+        cells.push_back(exp::SweepCell::of(b, "online:aggr=1"));
     }
     unsigned jobs = static_cast<unsigned>(state.range(0));
     for (auto _ : state) {

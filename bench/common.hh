@@ -4,24 +4,40 @@
  * paper's tables and figures.
  *
  * Every binary accepts:
- *   --window N     production window in instructions (default 150000)
- *   --no-cache     ignore and do not write the shared result cache
- *   --cache FILE   result cache path (default ./mcd_bench_cache.csv,
- *                  or $MCD_BENCH_CACHE)
- *   --jobs N       sweep parallelism (default hardware_concurrency;
- *                  1 = the old serial loops, byte-identical output)
+ *   --window N       production window in instructions
+ *                    (default 150000)
+ *   --no-cache       ignore and do not write the shared result cache
+ *   --cache FILE     result cache path (default
+ *                    ./mcd_bench_cache.csv, or $MCD_BENCH_CACHE)
+ *   --jobs N         sweep parallelism (default
+ *                    hardware_concurrency; 1 = the old serial loops,
+ *                    byte-identical output)
+ *   --policy SPEC    run the given policy spec (repeatable) over the
+ *                    whole suite instead of the binary's figure —
+ *                    any policy in the registry, e.g.
+ *                    "hybrid:guard=0.05", is selectable in every
+ *                    binary
+ *   --list-policies  print the policy registry (names, parameters,
+ *                    defaults) and exit
+ *   --help           print usage and exit
+ *
+ * Unrecognized arguments are a hard error: a typo like `--job 4`
+ * aborts with usage instead of silently running a full serial sweep.
  */
 
 #ifndef MCD_BENCH_COMMON_HH
 #define MCD_BENCH_COMMON_HH
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "control/policy.hh"
 #include "exp/experiment.hh"
 #include "util/logging.hh"
 #include "util/pool.hh"
@@ -36,30 +52,134 @@ constexpr double HEADLINE_D = 10.0;
 /** On-line aggressiveness used for the headline figures. */
 constexpr double HEADLINE_AGGR = 1.0;
 
-inline exp::ExpConfig
-parseArgs(int argc, char **argv)
+/** Parsed command line: the harness configuration plus any --policy
+ *  override specs. */
+struct Options
 {
     exp::ExpConfig cfg;
+    /** Policy specs from --policy flags; non-empty = the binary
+     *  runs these over the suite instead of its figure (see
+     *  runPolicyOverride()). */
+    std::vector<control::PolicySpec> policies;
+};
+
+inline void
+printUsage(const char *argv0, std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: %s [options]\n"
+        "  --window N       production window, instructions "
+        "(default 150000)\n"
+        "  --cache FILE     result cache path (default "
+        "./mcd_bench_cache.csv or $MCD_BENCH_CACHE)\n"
+        "  --no-cache       ignore and do not write the result "
+        "cache\n"
+        "  --jobs N         sweep parallelism (default: all "
+        "hardware threads; 1 = serial)\n"
+        "  --policy SPEC    run this policy spec over the suite "
+        "instead of the figure (repeatable);\n"
+        "                   SPEC is name[:key=value,...], e.g. "
+        "profile:mode=LFCP,d=5 or online:aggr=1.5;\n"
+        "                   unset parameters take the schema "
+        "defaults shown by --list-policies\n"
+        "                   (the figures themselves use the "
+        "headline d=10)\n"
+        "  --list-policies  print the policy registry and exit\n"
+        "  --help           print this message and exit\n",
+        argv0);
+}
+
+inline void
+listPolicies()
+{
+    std::printf("registered policies:\n%s",
+                control::describePolicies().c_str());
+}
+
+inline Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    exp::ExpConfig &cfg = opt.cfg;
     const char *env = std::getenv("MCD_BENCH_CACHE");
     cfg.cacheFile = env ? env : "mcd_bench_cache.csv";
-    cfg.d = HEADLINE_D;
+
+    auto value = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "%s: %s needs a value\n\n", argv[0],
+                         flag);
+            printUsage(argv[0], stderr);
+            std::exit(1);
+        }
+        return argv[++i];
+    };
+    // Values get the same strictness as flag names: a partial parse
+    // ("150,000", "x4"), a negative ("-1", which strtoull would
+    // sign-wrap to ULLONG_MAX without complaint) or an overflowing
+    // value is an error, not a silent truncation.
+    auto number = [&](int &i, const char *flag,
+                      unsigned long long max) -> unsigned long long {
+        const char *text = value(i, flag);
+        char *end = nullptr;
+        errno = 0;
+        unsigned long long v = std::strtoull(text, &end, 10);
+        if (!(text[0] >= '0' && text[0] <= '9') || end == text ||
+            *end != '\0' || errno == ERANGE || v > max) {
+            std::fprintf(stderr,
+                         "%s: %s wants a plain decimal number in "
+                         "[0, %llu], got '%s'\n\n",
+                         argv[0], flag, max, text);
+            printUsage(argv[0], stderr);
+            std::exit(1);
+        }
+        return v;
+    };
+
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--no-cache")) {
             cfg.cacheFile.clear();
-        } else if (!std::strcmp(argv[i], "--cache") && i + 1 < argc) {
-            cfg.cacheFile = argv[++i];
-        } else if (!std::strcmp(argv[i], "--window") && i + 1 < argc) {
-            cfg.productionWindow =
-                std::strtoull(argv[++i], nullptr, 10);
+        } else if (!std::strcmp(argv[i], "--cache")) {
+            cfg.cacheFile = value(i, "--cache");
+        } else if (!std::strcmp(argv[i], "--window")) {
+            cfg.productionWindow = number(
+                i, "--window",
+                std::numeric_limits<std::uint64_t>::max());
             cfg.analysisWindow = cfg.productionWindow;
-        } else if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
-            cfg.jobs = static_cast<unsigned>(
-                std::strtoul(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--jobs")) {
+            cfg.jobs = static_cast<unsigned>(number(
+                i, "--jobs",
+                std::numeric_limits<unsigned>::max()));
             if (cfg.jobs == 0)
                 cfg.jobs = 1;
+        } else if (!std::strcmp(argv[i], "--policy")) {
+            const char *text = value(i, "--policy");
+            control::PolicySpec spec;
+            std::string err;
+            // Parse and registry-validate up front so a typo fails
+            // here, with the message, not mid-sweep.
+            if (!control::parseSpec(text, spec, err) ||
+                !control::PolicyRegistry::instance().canonicalize(
+                    spec, err)) {
+                std::fprintf(stderr, "%s: %s\n", argv[0],
+                             err.c_str());
+                std::exit(1);
+            }
+            opt.policies.push_back(std::move(spec));
+        } else if (!std::strcmp(argv[i], "--list-policies")) {
+            listPolicies();
+            std::exit(0);
+        } else if (!std::strcmp(argv[i], "--help")) {
+            printUsage(argv[0], stdout);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "%s: unrecognized argument '%s'\n\n",
+                         argv[0], argv[i]);
+            printUsage(argv[0], stderr);
+            std::exit(1);
         }
     }
-    return cfg;
+    return opt;
 }
 
 /** Sweep parallelism for code that drives util::parallelFor itself
@@ -69,6 +189,60 @@ inline unsigned
 jobsOf(const exp::ExpConfig &cfg)
 {
     return cfg.jobs ? cfg.jobs : util::ThreadPool::defaultThreads();
+}
+
+/**
+ * The --policy override shared by every binary: when specs were
+ * given on the command line, run them over the whole suite (one
+ * runSweep() batch, memoized and parallel like any figure) and print
+ * the paper's three metrics plus reconfiguration counts per cell.
+ * Returns true if it ran (the caller should skip its figure).
+ */
+inline bool
+runPolicyOverride(const Options &opt)
+{
+    if (opt.policies.empty())
+        return false;
+    exp::Runner runner(opt.cfg);
+    const auto &benches = workload::suiteNames();
+    std::vector<exp::SweepCell> cells;
+    for (const auto &bench : benches)
+        for (const auto &spec : opt.policies)
+            cells.push_back(exp::SweepCell::of(bench, spec));
+    std::vector<exp::Outcome> out = runner.runSweep(cells);
+
+    TextTable t;
+    t.header({"benchmark", "policy", "slowdown %", "savings %",
+              "ExD gain %", "reconfigs"});
+    std::size_t i = 0;
+    std::vector<Summary> slow(opt.policies.size()),
+        save(opt.policies.size()), ed(opt.policies.size());
+    for (const auto &bench : benches) {
+        for (std::size_t p = 0; p < opt.policies.size(); ++p) {
+            const exp::Outcome &o = out[i++];
+            t.row({bench, opt.policies[p].str(),
+                   TextTable::num(o.metrics.slowdownPct),
+                   TextTable::num(o.metrics.energySavingsPct),
+                   TextTable::num(o.metrics.energyDelayImprovementPct),
+                   TextTable::num(o.reconfigs, 0)});
+            slow[p].add(o.metrics.slowdownPct);
+            save[p].add(o.metrics.energySavingsPct);
+            ed[p].add(o.metrics.energyDelayImprovementPct);
+        }
+    }
+    t.separator();
+    for (std::size_t p = 0; p < opt.policies.size(); ++p)
+        t.row({"average", opt.policies[p].str(),
+               TextTable::num(slow[p].mean()),
+               TextTable::num(save[p].mean()),
+               TextTable::num(ed[p].mean()), "-"});
+    std::printf("policy sweep (window %llu instructions, vs MCD "
+                "baseline)\n",
+                (unsigned long long)opt.cfg.productionWindow);
+    std::ostringstream os;
+    t.print(os);
+    std::fputs(os.str().c_str(), stdout);
+    return true;
 }
 
 /** One benchmark's headline metrics under the three main policies. */
@@ -92,10 +266,16 @@ headlineSweep(exp::Runner &runner)
     const auto &benches = workload::suiteNames();
     std::vector<exp::SweepCell> cells;
     for (const auto &bench : benches) {
-        cells.push_back(exp::SweepCell::offline(bench, HEADLINE_D));
-        cells.push_back(exp::SweepCell::online(bench, HEADLINE_AGGR));
-        cells.push_back(exp::SweepCell::profile(
-            bench, core::ContextMode::LF, HEADLINE_D));
+        cells.push_back(exp::SweepCell::of(
+            bench,
+            control::PolicySpec::of("offline").set("d", HEADLINE_D)));
+        cells.push_back(exp::SweepCell::of(
+            bench, control::PolicySpec::of("online").set(
+                       "aggr", HEADLINE_AGGR)));
+        cells.push_back(exp::SweepCell::of(
+            bench, control::PolicySpec::of("profile")
+                       .set("mode", core::ContextMode::LF)
+                       .set("d", HEADLINE_D)));
     }
     std::vector<exp::Outcome> out = runner.runSweep(cells);
     std::vector<HeadlineRow> rows;

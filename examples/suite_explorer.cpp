@@ -1,23 +1,24 @@
 /**
  * @file
  * Command-line explorer for the benchmark suite: run any benchmark
- * under any control policy and print the paper's metrics.
+ * under any registered control policy and print the paper's metrics.
+ * Policies are addressed by spec strings — the same grammar as the
+ * bench binaries' `--policy` flag.
  *
  * Usage:
- *   suite_explorer                        # list benchmarks
- *   suite_explorer <bench>                # all four policies
- *   suite_explorer <bench> profile [mode] [d]
- *   suite_explorer <bench> offline [d]
- *   suite_explorer <bench> online [aggressiveness]
- *   suite_explorer <bench> global
+ *   suite_explorer                        # list benchmarks/policies
+ *   suite_explorer <bench>                # every registered policy
+ *   suite_explorer <bench> <spec>...      # the given specs, e.g.
+ *       suite_explorer gsm_decode profile:mode=LFCP,d=5 global
+ *       suite_explorer mcf online:aggr=1.5 hybrid:guard=0.05
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "control/policy.hh"
 #include "exp/experiment.hh"
 #include "util/table.hh"
 #include "workload/suite.hh"
@@ -27,31 +28,8 @@ using namespace mcd;
 namespace
 {
 
-core::ContextMode
-parseMode(const char *s)
-{
-    const struct
-    {
-        const char *name;
-        core::ContextMode mode;
-    } table[] = {
-        {"lfcp", core::ContextMode::LFCP},
-        {"lfp", core::ContextMode::LFP},
-        {"fcp", core::ContextMode::FCP},
-        {"fp", core::ContextMode::FP},
-        {"lf", core::ContextMode::LF},
-        {"f", core::ContextMode::F},
-    };
-    for (const auto &e : table)
-        if (!std::strcmp(s, e.name))
-            return e.mode;
-    std::fprintf(stderr, "unknown mode '%s' (lfcp|lfp|fcp|fp|lf|f)\n",
-                 s);
-    std::exit(1);
-}
-
 void
-addRow(TextTable &t, const char *name, const exp::Outcome &o)
+addRow(TextTable &t, const std::string &name, const exp::Outcome &o)
 {
     t.row({name, TextTable::num(o.metrics.slowdownPct),
            TextTable::num(o.metrics.energySavingsPct),
@@ -68,9 +46,10 @@ main(int argc, char **argv)
         std::printf("benchmarks:\n");
         for (const auto &n : workload::suiteNames())
             std::printf("  %s\n", n.c_str());
-        std::printf("\nusage: %s <bench> "
-                    "[profile [mode] [d] | offline [d] | "
-                    "online [aggr] | global]\n",
+        std::printf("\npolicies (spec grammar "
+                    "name[:key=value,...]):\n%s",
+                    control::describePolicies().c_str());
+        std::printf("\nusage: %s <bench> [policy-spec ...]\n",
                     argv[0]);
         return 0;
     }
@@ -81,6 +60,39 @@ main(int argc, char **argv)
         return 1;
     }
 
+    const control::PolicyRegistry &reg =
+        control::PolicyRegistry::instance();
+    std::vector<control::PolicySpec> specs;
+    if (argc > 2) {
+        for (int i = 2; i < argc; ++i) {
+            control::PolicySpec spec;
+            std::string err;
+            if (!control::parseSpec(argv[i], spec, err) ||
+                !reg.canonicalize(spec, err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                return 1;
+            }
+            specs.push_back(std::move(spec));
+        }
+    } else {
+        // No specs given: every registered policy at its schema
+        // defaults, except baseline — its metrics vs itself are all
+        // zero, so the row carries no information.  Canonicalize so
+        // the rows print the defaults they ran with.
+        for (const control::Policy *p : reg.list()) {
+            if (std::string(p->name()) == "baseline")
+                continue;
+            control::PolicySpec spec =
+                control::PolicySpec::of(p->name());
+            std::string err;
+            if (!reg.canonicalize(spec, err)) {
+                std::fprintf(stderr, "%s\n", err.c_str());
+                return 1;
+            }
+            specs.push_back(std::move(spec));
+        }
+    }
+
     exp::ExpConfig cfg;
     cfg.cacheFile.clear();  // explorer runs are always fresh
     exp::Runner runner(cfg);
@@ -88,38 +100,22 @@ main(int argc, char **argv)
     TextTable t;
     t.header({"policy", "slowdown %", "savings %", "ExD gain %",
               "reconfigs"});
-
-    const char *policy = argc > 2 ? argv[2] : "all";
-    if (!std::strcmp(policy, "all")) {
-        addRow(t, "off-line", runner.offline(bench, cfg.d));
-        addRow(t, "on-line", runner.online(bench, 1.0));
-        addRow(t, "profile L+F",
-               runner.profile(bench, core::ContextMode::LF, cfg.d));
-        addRow(t, "global", runner.global(bench));
-    } else if (!std::strcmp(policy, "profile")) {
-        core::ContextMode mode =
-            argc > 3 ? parseMode(argv[3]) : core::ContextMode::LF;
-        double d = argc > 4 ? std::atof(argv[4]) : cfg.d;
-        auto o = runner.profile(bench, mode, d);
-        addRow(t, core::contextModeName(mode), o);
-        std::printf("static points: %g reconfig / %g instrumentation; "
-                    "tables %.2f KB\n",
-                    o.staticReconfigPoints, o.staticInstrPoints,
-                    o.tableBytes / 1024.0);
-    } else if (!std::strcmp(policy, "offline")) {
-        double d = argc > 3 ? std::atof(argv[3]) : cfg.d;
-        addRow(t, "off-line", runner.offline(bench, d));
-    } else if (!std::strcmp(policy, "online")) {
-        double a = argc > 3 ? std::atof(argv[3]) : 1.0;
-        addRow(t, "on-line", runner.online(bench, a));
-    } else if (!std::strcmp(policy, "global")) {
-        auto o = runner.global(bench);
-        addRow(t, "global", o);
-        std::printf("matched chip frequency: %.0f MHz\n",
-                    o.globalFreq);
-    } else {
-        std::fprintf(stderr, "unknown policy '%s'\n", policy);
-        return 1;
+    for (const control::PolicySpec &spec : specs) {
+        exp::Outcome o = runner.run(bench, spec);
+        addRow(t, spec.str(), o);
+        // Keyed on the outcome fields, not the policy name, so any
+        // policy that fills them (profile, hybrid, future
+        // pipeline-based ones) gets its diagnostics printed.
+        if (o.globalFreq > 0.0)
+            std::printf("matched chip frequency: %.0f MHz\n",
+                        o.globalFreq);
+        if (o.staticReconfigPoints > 0.0 ||
+            o.staticInstrPoints > 0.0 || o.tableBytes > 0.0)
+            std::printf(
+                "%s: static points: %g reconfig / %g "
+                "instrumentation; tables %.2f KB\n",
+                spec.policy.c_str(), o.staticReconfigPoints,
+                o.staticInstrPoints, o.tableBytes / 1024.0);
     }
 
     std::printf("%s (window %llu instructions, vs MCD baseline)\n",

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The MCD baseline policy: all domains at maximum frequency.  Every
+ * other policy's metrics are computed relative to this run
+ * (Section 4.1).
+ */
+
+#include "control/policy.hh"
+#include "sim/processor.hh"
+#include "workload/suite.hh"
+
+namespace mcd::control
+{
+namespace
+{
+
+class BaselinePolicy final : public Policy
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "baseline";
+    }
+
+    const char *
+    description() const override
+    {
+        return "MCD baseline, all domains at maximum frequency";
+    }
+
+    bool
+    relativeToBaseline() const override
+    {
+        return false;
+    }
+
+    Outcome
+    run(const std::string &bench, const PolicySpec &,
+        const PolicyContext &ctx) const override
+    {
+        workload::Benchmark bm = workload::makeBenchmark(bench);
+        sim::Processor proc(ctx.sim, ctx.power, bm.program, bm.ref);
+        sim::RunResult r = proc.run(ctx.productionWindow);
+        Outcome o;
+        o.timePs = static_cast<double>(r.timePs);
+        o.energyNj = r.chipEnergyNj;
+        return o;
+    }
+};
+
+} // namespace
+
+MCD_REGISTER_POLICY(BaselinePolicy);
+
+} // namespace mcd::control

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Semeraro et al.'s on-line attack/decay hardware controller as a
+ * policy (the paper's reactive baseline).
+ */
+
+#include "control/online.hh"
+#include "control/policy.hh"
+#include "sim/processor.hh"
+#include "workload/suite.hh"
+
+namespace mcd::control
+{
+namespace
+{
+
+class OnlinePolicy final : public Policy
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "online";
+    }
+
+    const char *
+    description() const override
+    {
+        return "on-line attack/decay controller reacting to queue "
+               "utilization (Semeraro et al., MICRO 2002)";
+    }
+
+    std::vector<ParamInfo>
+    params() const override
+    {
+        return {
+            ParamInfo::dbl(
+                "aggr", 1.0,
+                "aggressiveness: scales decay, relaxes the IPC "
+                "guard (1.0 = the paper's operating point)",
+                0.0, 1000.0),
+        };
+    }
+
+    Outcome
+    run(const std::string &bench, const PolicySpec &spec,
+        const PolicyContext &ctx) const override
+    {
+        workload::Benchmark bm = workload::makeBenchmark(bench);
+        OnlineConfig oc;
+        oc.aggressiveness = spec.num("aggr");
+        oc.intIqSize = ctx.sim.intIqSize;
+        oc.fpIqSize = ctx.sim.fpIqSize;
+        oc.lsqSize = ctx.sim.lsqSize;
+        oc.robSize = ctx.sim.robSize;
+        AttackDecayController ctl(oc, ctx.sim);
+        sim::Processor proc(ctx.sim, ctx.power, bm.program, bm.ref);
+        proc.setIntervalHook(&ctl, oc.intervalInstrs);
+        sim::RunResult r = proc.run(ctx.productionWindow);
+        Outcome res;
+        res.timePs = static_cast<double>(r.timePs);
+        res.energyNj = r.chipEnergyNj;
+        res.reconfigs = static_cast<double>(r.reconfigs);
+        return res;
+    }
+};
+
+} // namespace
+
+MCD_REGISTER_POLICY(OnlinePolicy);
+
+} // namespace mcd::control

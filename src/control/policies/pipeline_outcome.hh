@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared Outcome population for policies built on the profile
+ * pipeline (`profile`, `hybrid`, and any future pipeline-based
+ * policy): one definition of how a production run's results and the
+ * trained plan's diagnostics map onto Outcome fields, so the
+ * policies cannot silently diverge in what they report.
+ */
+
+#ifndef MCD_CONTROL_POLICIES_PIPELINE_OUTCOME_HH
+#define MCD_CONTROL_POLICIES_PIPELINE_OUTCOME_HH
+
+#include "control/policy.hh"
+#include "core/pipeline.hh"
+
+namespace mcd::control
+{
+
+inline Outcome
+pipelineOutcome(const sim::RunResult &r, const core::RuntimeStats &rt,
+                const core::ProfilePipeline &pipe)
+{
+    Outcome res;
+    res.timePs = static_cast<double>(r.timePs);
+    res.energyNj = r.chipEnergyNj;
+    res.reconfigs = static_cast<double>(r.reconfigs);
+    res.overheadCycles = static_cast<double>(r.overheadCycles);
+    res.feCycles = static_cast<double>(r.feCycles);
+    res.dynReconfigPoints = static_cast<double>(rt.dynReconfigPoints);
+    res.dynInstrPoints = static_cast<double>(rt.dynInstrPoints);
+    res.staticReconfigPoints = pipe.plan().staticReconfigPoints;
+    res.staticInstrPoints = pipe.plan().staticInstrPoints;
+    res.tableBytes =
+        static_cast<double>(pipe.plan().nextNodeTableBytes +
+                            pipe.plan().freqTableBytes);
+    return res;
+}
+
+} // namespace mcd::control
+
+#endif // MCD_CONTROL_POLICIES_PIPELINE_OUTCOME_HH

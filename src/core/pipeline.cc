@@ -64,13 +64,21 @@ ProfilePipeline::runProduction(const workload::InputSet &input,
                                const sim::SimConfig &scfg,
                                const power::PowerConfig &pcfg,
                                std::uint64_t window,
-                               RuntimeStats *rt_out)
+                               RuntimeStats *rt_out,
+                               sim::IntervalHook *hook,
+                               std::uint64_t hook_interval)
 {
     if (!trained)
         fatal("ProfilePipeline::runProduction() before train()");
+    if (hook && hook_interval == 0)
+        fatal("ProfilePipeline::runProduction(): an interval hook "
+              "needs a positive hook_interval (0 would silently "
+              "disable it)");
     ProfileRuntime runtime(*tree_, plan_, cfg.costs);
     sim::Processor proc(scfg, pcfg, program, input);
     proc.setMarkerHandler(&runtime);
+    if (hook)
+        proc.setIntervalHook(hook, hook_interval);
     sim::RunResult r = proc.run(window);
     if (rt_out)
         *rt_out = runtime.stats();

@@ -74,12 +74,18 @@ class ProfilePipeline
      * @param pcfg   power model configuration
      * @param window instructions to simulate
      * @param rt_out optional: receives dynamic instrumentation counts
+     * @param hook   optional interval controller run alongside the
+     *               instrumented binary (e.g. a reactive guard that
+     *               can override profile-chosen frequencies); fired
+     *               every @p hook_interval committed instructions
      */
     sim::RunResult runProduction(const workload::InputSet &input,
                                  const sim::SimConfig &scfg,
                                  const power::PowerConfig &pcfg,
                                  std::uint64_t window,
-                                 RuntimeStats *rt_out = nullptr);
+                                 RuntimeStats *rt_out = nullptr,
+                                 sim::IntervalHook *hook = nullptr,
+                                 std::uint64_t hook_interval = 0);
 
     /** The training call tree (valid after train()). */
     const CallTree &tree() const { return *tree_; }

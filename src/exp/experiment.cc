@@ -1,6 +1,5 @@
 #include "exp/experiment.hh"
 
-#include <charconv>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -9,12 +8,8 @@
 #include <sstream>
 #include <thread>
 
-#include "control/globaldvs.hh"
-#include "control/offline.hh"
-#include "control/online.hh"
 #include "util/logging.hh"
 #include "util/pool.hh"
-#include "workload/suite.hh"
 
 namespace mcd::exp
 {
@@ -23,47 +18,13 @@ namespace
 {
 
 /** Cache schema version: bump when simulation physics or the key or
- *  line format change.  v2: config fingerprint in every key, strict
- *  line validation. */
-constexpr int CACHE_VERSION = 2;
+ *  line format change.  v3: keys carry the canonical PolicySpec
+ *  string (policy:key=value,...) instead of per-policy ad-hoc
+ *  fragments. */
+constexpr int CACHE_VERSION = 3;
 
 /** Numeric payload fields per cache line (after the key). */
 constexpr std::size_t NUM_LINE_FIELDS = 11;
-
-/** FNV-1a accumulator for configFingerprint(). */
-struct Fnv
-{
-    std::uint64_t h = 1469598103934665603ULL;
-
-    void
-    bytes(const void *p, std::size_t n)
-    {
-        const auto *b = static_cast<const unsigned char *>(p);
-        for (std::size_t i = 0; i < n; ++i)
-            h = (h ^ b[i]) * 1099511628211ULL;
-    }
-
-    void
-    u64(std::uint64_t v)
-    {
-        bytes(&v, sizeof(v));
-    }
-
-    void
-    i64(long long v)
-    {
-        u64(static_cast<std::uint64_t>(v));
-    }
-
-    void
-    f64(double v)
-    {
-        std::uint64_t b;
-        static_assert(sizeof(b) == sizeof(v));
-        std::memcpy(&b, &v, sizeof(b));
-        u64(b);
-    }
-};
 
 std::string
 outcomeToLine(const std::string &key, const Outcome &o)
@@ -86,74 +47,38 @@ outcomeToLine(const std::string &key, const Outcome &o)
     return os.str();
 }
 
-/** Locale-independent fixed-point format for cache-key parameters
- *  ('.' decimal separator no matter the global locale, which plain
- *  strprintf %f would follow). */
-std::string
-fmtFixed(double v, int prec)
-{
-    std::ostringstream os;
-    os.imbue(std::locale::classic());
-    os.setf(std::ios::fixed);
-    os.precision(prec);
-    os << v;
-    return os.str();
-}
-
-/** Locale-independent full-string double parse. */
-bool
-parseDouble(const std::string &cell, double &v)
-{
-    if (cell.empty())
-        return false;
-#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
-    const char *first = cell.data();
-    const char *last = first + cell.size();
-    auto [ptr, ec] = std::from_chars(first, last, v);
-    return ec == std::errc() && ptr == last;
-#else
-    // Fallback for standard libraries without floating-point
-    // from_chars (libc++ < 20): classic-locale stream extraction,
-    // rejecting partial consumption and leading whitespace.
-    std::istringstream is(cell);
-    is.imbue(std::locale::classic());
-    is >> std::noskipws >> v;
-    return !is.fail() && is.eof();
-#endif
-}
-
 /**
- * Parse one cache line.  Rejects (returns false on) anything that is
- * not exactly key + NUM_LINE_FIELDS well-formed numbers: truncated
- * lines from interrupted runs, extra fields, non-numeric cells
- * (e.g. locale-mangled decimals).
+ * Parse one cache line.  The key is a canonical spec key and may
+ * itself contain commas (`...|profile:mode=LF,d=10.000|...`), so the
+ * payload is taken as the *last* NUM_LINE_FIELDS comma-separated
+ * cells and everything before them is the key.  Rejects (returns
+ * false on) anything without a non-empty key and exactly
+ * NUM_LINE_FIELDS well-formed trailing numbers: truncated lines from
+ * interrupted runs, non-numeric cells (e.g. locale-mangled
+ * decimals).
  */
 bool
 lineToOutcome(const std::string &line, std::string &key, Outcome &o)
 {
-    std::vector<std::string> cells;
-    std::size_t start = 0;
-    for (;;) {
-        std::size_t comma = line.find(',', start);
-        if (comma == std::string::npos) {
-            cells.push_back(line.substr(start));
-            break;
-        }
-        cells.push_back(line.substr(start, comma - start));
-        start = comma + 1;
-    }
-    if (cells.size() != 1 + NUM_LINE_FIELDS || cells[0].empty())
-        return false;
-    key = cells[0];
+    std::size_t end = line.size();
     double *fields[NUM_LINE_FIELDS] = {
         &o.timePs, &o.energyNj, &o.reconfigs, &o.overheadCycles,
         &o.feCycles, &o.dynReconfigPoints, &o.dynInstrPoints,
         &o.staticReconfigPoints, &o.staticInstrPoints, &o.tableBytes,
         &o.globalFreq,
     };
-    for (std::size_t i = 0; i < NUM_LINE_FIELDS; ++i)
-        if (!parseDouble(cells[1 + i], *fields[i]))
+    for (std::size_t i = NUM_LINE_FIELDS; i-- > 0;) {
+        std::size_t comma = line.rfind(',', end == 0 ? 0 : end - 1);
+        if (comma == std::string::npos)
             return false;
+        if (!control::parseDouble(
+                line.substr(comma + 1, end - comma - 1), *fields[i]))
+            return false;
+        end = comma;
+    }
+    if (end == 0)
+        return false;
+    key = line.substr(0, end);
     return true;
 }
 
@@ -162,11 +87,46 @@ lineToOutcome(const std::string &line, std::string &key, Outcome &o)
 std::uint64_t
 configFingerprint(const ExpConfig &cfg)
 {
+    /** FNV-1a accumulator. */
+    struct Fnv
+    {
+        std::uint64_t h = 1469598103934665603ULL;
+
+        void
+        bytes(const void *p, std::size_t n)
+        {
+            const auto *b = static_cast<const unsigned char *>(p);
+            for (std::size_t i = 0; i < n; ++i)
+                h = (h ^ b[i]) * 1099511628211ULL;
+        }
+
+        void
+        u64(std::uint64_t v)
+        {
+            bytes(&v, sizeof(v));
+        }
+
+        void
+        i64(long long v)
+        {
+            u64(static_cast<std::uint64_t>(v));
+        }
+
+        void
+        f64(double v)
+        {
+            std::uint64_t b;
+            static_assert(sizeof(b) == sizeof(v));
+            std::memcpy(&b, &v, sizeof(b));
+            u64(b);
+        }
+    };
+
     // Every SimConfig/PowerConfig knob, plus the profiling cap; the
-    // remaining ExpConfig parameters (windows, thresholds, intervals,
-    // aggressiveness) are spelled out in the cache-key text itself.
-    // Keep the field list in sync with sim/config.hh and
-    // power/power.hh.
+    // remaining ExpConfig parameters (windows, intervals) are
+    // spelled out in the cache-key text itself via the policies'
+    // contextKey() fragments.  Keep the field list in sync with
+    // sim/config.hh and power/power.hh.
     Fnv f;
     const sim::SimConfig &s = cfg.sim;
     f.i64(s.fetchWidth);
@@ -319,57 +279,69 @@ class Runner::CacheWriter
 };
 
 SweepCell
-SweepCell::baseline(std::string bench)
+SweepCell::of(std::string bench, control::PolicySpec spec)
 {
     SweepCell c;
     c.bench = std::move(bench);
-    c.policy = Policy::Baseline;
+    c.spec = std::move(spec);
     return c;
+}
+
+SweepCell
+SweepCell::of(std::string bench, const std::string &spec_text)
+{
+    control::PolicySpec spec;
+    std::string err;
+    if (!control::parseSpec(spec_text, spec, err))
+        fatal("%s", err.c_str());
+    return of(std::move(bench), std::move(spec));
+}
+
+SweepCell
+SweepCell::baseline(std::string bench)
+{
+    return of(std::move(bench), control::PolicySpec::of("baseline"));
 }
 
 SweepCell
 SweepCell::profile(std::string bench, core::ContextMode mode, double d)
 {
-    SweepCell c;
-    c.bench = std::move(bench);
-    c.policy = Policy::Profile;
-    c.mode = mode;
-    c.d = d;
-    return c;
+    return of(std::move(bench), control::PolicySpec::of("profile")
+                                    .set("mode", mode)
+                                    .set("d", d));
 }
 
 SweepCell
 SweepCell::offline(std::string bench, double d)
 {
-    SweepCell c;
-    c.bench = std::move(bench);
-    c.policy = Policy::Offline;
-    c.d = d;
-    return c;
+    return of(std::move(bench),
+              control::PolicySpec::of("offline").set("d", d));
 }
 
 SweepCell
 SweepCell::online(std::string bench, double aggressiveness)
 {
-    SweepCell c;
-    c.bench = std::move(bench);
-    c.policy = Policy::Online;
-    c.aggressiveness = aggressiveness;
-    return c;
-}
-
-SweepCell
-SweepCell::global(std::string bench)
-{
-    SweepCell c;
-    c.bench = std::move(bench);
-    c.policy = Policy::Global;
-    return c;
+    return of(std::move(bench), control::PolicySpec::of("online")
+                                    .set("aggr", aggressiveness));
 }
 
 Runner::Runner(const ExpConfig &c)
     : cfg(c), fingerprint(configFingerprint(c))
 {
+    ctx.sim = cfg.sim;
+    ctx.power = cfg.power;
+    ctx.productionWindow = cfg.productionWindow;
+    ctx.analysisWindow = cfg.analysisWindow;
+    ctx.profileMaxInstrs = cfg.profileMaxInstrs;
+    ctx.offlineInterval = cfg.offlineInterval;
+    // Cross-policy dependencies (global -> offline, metrics ->
+    // baseline) resolve through the runner's memo, so shared
+    // sub-runs are computed once no matter which thread or policy
+    // asks first.
+    ctx.evaluate = [this](const std::string &bench,
+                          const control::PolicySpec &spec) {
+        return run(bench, spec);
+    };
     loadCache();
     if (!cfg.cacheFile.empty())
         writer = std::make_unique<CacheWriter>(cfg.cacheFile);
@@ -382,6 +354,32 @@ Runner::keyPrefix() const
 {
     return strprintf("v%d|c%016llx", CACHE_VERSION,
                      (unsigned long long)fingerprint);
+}
+
+std::string
+Runner::resolve(const std::string &bench,
+                const control::PolicySpec &spec,
+                control::PolicySpec &canon,
+                const control::Policy *&policy) const
+{
+    const control::PolicyRegistry &reg =
+        control::PolicyRegistry::instance();
+    canon = spec;
+    std::string err;
+    if (!reg.canonicalize(canon, err))
+        fatal("%s", err.c_str());
+    policy = reg.find(canon.policy);
+    return keyPrefix() + '|' + canon.str() + '|' + bench + '|' +
+           policy->contextKey(ctx);
+}
+
+std::string
+Runner::cacheKey(const std::string &bench,
+                 const control::PolicySpec &spec) const
+{
+    control::PolicySpec canon;
+    const control::Policy *policy = nullptr;
+    return resolve(bench, spec, canon, policy);
 }
 
 void
@@ -494,162 +492,59 @@ Runner::runSweep(const std::vector<SweepCell> &cells, unsigned jobs)
 Outcome
 Runner::run(const SweepCell &cell)
 {
-    switch (cell.policy) {
-      case Policy::Baseline:
-        return baseline(cell.bench);
-      case Policy::Profile:
-        return profile(cell.bench, cell.mode, cell.d);
-      case Policy::Offline:
-        return offline(cell.bench, cell.d);
-      case Policy::Online:
-        return online(cell.bench, cell.aggressiveness);
-      case Policy::Global:
-        return global(cell.bench);
-    }
-    panic("unknown sweep policy %d", static_cast<int>(cell.policy));
+    return run(cell.bench, cell.spec);
+}
+
+Outcome
+Runner::run(const std::string &bench,
+            const control::PolicySpec &spec)
+{
+    control::PolicySpec canon;
+    const control::Policy *policy = nullptr;
+    std::string key = resolve(bench, spec, canon, policy);
+    Outcome o = memoize(
+        key, [&] { return policy->run(bench, canon, ctx); });
+    // Metrics are intentionally outside the memo: they derive from
+    // two cached raw outcomes and stay correct however either one
+    // got here.
+    if (policy->relativeToBaseline())
+        o.metrics = vsBaseline(bench, o);
+    return o;
 }
 
 Outcome
 Runner::baseline(const std::string &bench)
 {
-    std::string key =
-        strprintf("%s|base|%s|w%llu", keyPrefix().c_str(),
-                  bench.c_str(),
-                  (unsigned long long)cfg.productionWindow);
-    return memoize(key, [&] {
-        workload::Benchmark bm = workload::makeBenchmark(bench);
-        sim::Processor proc(cfg.sim, cfg.power, bm.program, bm.ref);
-        sim::RunResult r = proc.run(cfg.productionWindow);
-        Outcome o;
-        o.timePs = static_cast<double>(r.timePs);
-        o.energyNj = r.chipEnergyNj;
-        return o;
-    });
+    return run(bench, control::PolicySpec::of("baseline"));
 }
 
 Outcome
 Runner::profile(const std::string &bench, core::ContextMode mode,
                 double d)
 {
-    std::string key = strprintf(
-        "%s|profile|%s|%s|d%s|w%llu|a%llu", keyPrefix().c_str(),
-        bench.c_str(), core::contextModeName(mode),
-        fmtFixed(d, 3).c_str(),
-        (unsigned long long)cfg.productionWindow,
-        (unsigned long long)cfg.analysisWindow);
-    Outcome o = memoize(key, [&] {
-        workload::Benchmark bm = workload::makeBenchmark(bench);
-        core::PipelineConfig pc;
-        pc.mode = mode;
-        pc.slowdownPct = d;
-        pc.profile.maxInstrs = cfg.profileMaxInstrs;
-        pc.analysisWindow = cfg.analysisWindow;
-        core::ProfilePipeline pipe(bm.program, pc);
-        pipe.train(bm.train, cfg.sim, cfg.power);
-        core::RuntimeStats rt;
-        sim::RunResult r = pipe.runProduction(
-            bm.ref, cfg.sim, cfg.power, cfg.productionWindow, &rt);
-        Outcome res;
-        res.timePs = static_cast<double>(r.timePs);
-        res.energyNj = r.chipEnergyNj;
-        res.reconfigs = static_cast<double>(r.reconfigs);
-        res.overheadCycles = static_cast<double>(r.overheadCycles);
-        res.feCycles = static_cast<double>(r.feCycles);
-        res.dynReconfigPoints =
-            static_cast<double>(rt.dynReconfigPoints);
-        res.dynInstrPoints = static_cast<double>(rt.dynInstrPoints);
-        res.staticReconfigPoints = pipe.plan().staticReconfigPoints;
-        res.staticInstrPoints = pipe.plan().staticInstrPoints;
-        res.tableBytes =
-            static_cast<double>(pipe.plan().nextNodeTableBytes +
-                                pipe.plan().freqTableBytes);
-        return res;
-    });
-    o.metrics = vsBaseline(bench, o);
-    return o;
+    return run(bench, control::PolicySpec::of("profile")
+                          .set("mode", mode)
+                          .set("d", d));
 }
 
 Outcome
 Runner::offline(const std::string &bench, double d)
 {
-    std::string key = strprintf(
-        "%s|offline|%s|d%s|w%llu|i%llu", keyPrefix().c_str(),
-        bench.c_str(), fmtFixed(d, 3).c_str(),
-        (unsigned long long)cfg.productionWindow,
-        (unsigned long long)cfg.offlineInterval);
-    Outcome o = memoize(key, [&] {
-        workload::Benchmark bm = workload::makeBenchmark(bench);
-        control::OfflineConfig oc;
-        oc.intervalInstrs = cfg.offlineInterval;
-        oc.slowdownPct = d;
-        sim::RunResult r =
-            control::offlineRun(oc, bm.program, bm.ref, cfg.sim,
-                                cfg.power, cfg.productionWindow);
-        Outcome res;
-        res.timePs = static_cast<double>(r.timePs);
-        res.energyNj = r.chipEnergyNj;
-        res.reconfigs = static_cast<double>(r.reconfigs);
-        return res;
-    });
-    o.metrics = vsBaseline(bench, o);
-    return o;
+    return run(bench, control::PolicySpec::of("offline").set("d", d));
 }
 
 Outcome
 Runner::online(const std::string &bench, double aggressiveness)
 {
-    std::string key = strprintf(
-        "%s|online|%s|a%s|w%llu", keyPrefix().c_str(),
-        bench.c_str(), fmtFixed(aggressiveness, 3).c_str(),
-        (unsigned long long)cfg.productionWindow);
-    Outcome o = memoize(key, [&] {
-        workload::Benchmark bm = workload::makeBenchmark(bench);
-        control::OnlineConfig oc;
-        oc.aggressiveness = aggressiveness;
-        oc.intIqSize = cfg.sim.intIqSize;
-        oc.fpIqSize = cfg.sim.fpIqSize;
-        oc.lsqSize = cfg.sim.lsqSize;
-        oc.robSize = cfg.sim.robSize;
-        control::AttackDecayController ctl(oc, cfg.sim);
-        sim::Processor proc(cfg.sim, cfg.power, bm.program, bm.ref);
-        proc.setIntervalHook(&ctl, oc.intervalInstrs);
-        sim::RunResult r = proc.run(cfg.productionWindow);
-        Outcome res;
-        res.timePs = static_cast<double>(r.timePs);
-        res.energyNj = r.chipEnergyNj;
-        res.reconfigs = static_cast<double>(r.reconfigs);
-        return res;
-    });
-    o.metrics = vsBaseline(bench, o);
-    return o;
+    return run(bench, control::PolicySpec::of("online")
+                          .set("aggr", aggressiveness));
 }
 
 Outcome
 Runner::global(const std::string &bench)
 {
-    // The interval is part of the key because the off-line run this
-    // policy matches (below) depends on it.
-    std::string key =
-        strprintf("%s|global|%s|d%s|w%llu|i%llu", keyPrefix().c_str(),
-                  bench.c_str(), fmtFixed(cfg.d, 3).c_str(),
-                  (unsigned long long)cfg.productionWindow,
-                  (unsigned long long)cfg.offlineInterval);
-    Outcome o = memoize(key, [&] {
-        // Target: match the off-line algorithm's run time
-        // (Section 4.1).
-        Outcome off = offline(bench, cfg.d);
-        workload::Benchmark bm = workload::makeBenchmark(bench);
-        control::GlobalDvsResult g = control::globalDvsMatch(
-            bm.program, bm.ref, cfg.sim, cfg.power,
-            cfg.productionWindow, static_cast<Tick>(off.timePs));
-        Outcome res;
-        res.timePs = static_cast<double>(g.run.timePs);
-        res.energyNj = g.run.chipEnergyNj;
-        res.globalFreq = g.freq;
-        return res;
-    });
-    o.metrics = vsBaseline(bench, o);
-    return o;
+    return run(bench,
+               control::PolicySpec::of("global").set("d", cfg.d));
 }
 
 } // namespace mcd::exp

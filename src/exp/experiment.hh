@@ -1,16 +1,22 @@
 /**
  * @file
  * Experiment harness shared by the benchmark binaries: runs each
- * benchmark under the MCD baseline, the profile-driven pipeline, the
- * off-line oracle, the on-line attack/decay controller and the
- * global-DVS baseline, computing the paper's metrics (always
- * relative to the MCD baseline, Section 4.1).
+ * benchmark under any policy registered with
+ * `control::PolicyRegistry` (the paper's five — baseline, profile,
+ * off-line oracle, on-line attack/decay, global DVS — plus anything
+ * added since, e.g. `hybrid`), computing the paper's metrics
+ * (always relative to the MCD baseline, Section 4.1).
  *
- * The harness is a parallel sweep engine: every {benchmark, policy,
- * parameter} cell of a figure is an independent job, and
- * Runner::runSweep() spreads the cells over a work-stealing thread
- * pool (`--jobs N` in the bench binaries; `--jobs 1` reproduces the
- * old serial loops exactly).
+ * Policies are addressed by `control::PolicySpec` strings
+ * (`profile:mode=LF,d=10`, `online:aggr=1.5`, `global`); the
+ * canonical spec form is the single source of truth for memo/CSV
+ * cache keys, CLI selection and sweep construction.
+ *
+ * The harness is a parallel sweep engine: every {benchmark, spec}
+ * cell of a figure is an independent job, and Runner::runSweep()
+ * spreads the cells over a work-stealing thread pool (`--jobs N` in
+ * the bench binaries; `--jobs 1` reproduces the old serial loops
+ * exactly).
  *
  * Results are memoized in a sharded in-memory map and, optionally,
  * appended to a CSV cache file by a single writer thread so that the
@@ -33,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "control/policy.hh"
 #include "core/pipeline.hh"
 #include "power/power.hh"
 #include "sim/processor.hh"
@@ -52,12 +59,16 @@ struct ExpConfig
     std::uint64_t analysisWindow = 150'000;
     /** Profiling cap for phase 1 (functional run). */
     std::uint64_t profileMaxInstrs = 4'000'000;
-    /** Default slowdown threshold d (percent). */
-    double d = 5.0;
+    /**
+     * Slowdown threshold d (percent) read ONLY by the deprecated
+     * `Runner::global(bench)` shim.  Specs with an unset d default
+     * through the parameter schema
+     * (`control::DEFAULT_SLOWDOWN_PCT`, 5.0), never through this
+     * field — spell d out in the spec when it must differ.
+     */
+    double d = control::DEFAULT_SLOWDOWN_PCT;
     /** Off-line oracle reconfiguration interval. */
     std::uint64_t offlineInterval = 10'000;
-    /** On-line controller aggressiveness at the default point. */
-    double onlineAggressiveness = 1.0;
     /** CSV memo file; empty = in-memory only. */
     std::string cacheFile;
     /** Sweep parallelism; 0 = hardware_concurrency(). */
@@ -83,59 +94,40 @@ struct ExpConfig
 std::uint64_t configFingerprint(const ExpConfig &cfg);
 
 /** Result of one policy run on one benchmark. */
-struct Outcome
-{
-    double timePs = 0.0;
-    double energyNj = 0.0;
-    Metrics metrics;  ///< vs the MCD baseline
-    double reconfigs = 0.0;
-    double overheadCycles = 0.0;
-    double feCycles = 0.0;
-    // profile-policy extras
-    double dynReconfigPoints = 0.0;
-    double dynInstrPoints = 0.0;
-    double staticReconfigPoints = 0.0;
-    double staticInstrPoints = 0.0;
-    double tableBytes = 0.0;
-    // global-policy extras
-    double globalFreq = 0.0;
-};
-
-/** The reconfiguration policies a sweep cell can run. */
-enum class Policy
-{
-    Baseline,  ///< MCD, all domains at maximum frequency
-    Profile,   ///< profile-driven (mode, d)
-    Offline,   ///< off-line perfect-knowledge oracle (d)
-    Online,    ///< attack/decay controller (aggressiveness)
-    Global,    ///< chip-wide DVS matched to the off-line run time
-};
+using Outcome = control::Outcome;
 
 /**
- * One independently-runnable {benchmark, policy, parameter} cell of
- * a sweep.  Build cells with the named factories.
+ * One independently-runnable {benchmark, policy spec} cell of a
+ * sweep.  Build cells with `of()`; the named factories are thin
+ * shims from the pre-registry enum days.
  */
 struct SweepCell
 {
     std::string bench;
-    Policy policy = Policy::Baseline;
-    core::ContextMode mode = core::ContextMode::LF;  ///< Profile only
-    double d = 0.0;              ///< Profile/Offline threshold
-    double aggressiveness = 1.0; ///< Online only
+    control::PolicySpec spec;
 
+    static SweepCell of(std::string bench, control::PolicySpec spec);
+    /** Parses @p spec_text; fatal on a malformed/unknown spec. */
+    static SweepCell of(std::string bench,
+                        const std::string &spec_text);
+
+    // Deprecated shims for the old closed policy set; prefer of().
+    // There is deliberately no global() shim: the enum-era global
+    // cell read the runner's `ExpConfig::d` at run time, which a
+    // spec built ahead of time cannot reproduce — build it
+    // explicitly as `PolicySpec::of("global").set("d", cfg.d)` so
+    // the threshold is visible at the call site.
     static SweepCell baseline(std::string bench);
     static SweepCell profile(std::string bench, core::ContextMode mode,
                              double d);
     static SweepCell offline(std::string bench, double d);
     static SweepCell online(std::string bench, double aggressiveness);
-    static SweepCell global(std::string bench);
 };
 
 /**
  * Memoizing, concurrency-safe experiment runner.
  *
- * The policy entry points (baseline/profile/offline/online/global)
- * may be called from any number of threads; runSweep() is the
+ * run() may be called from any number of threads; runSweep() is the
  * batch interface the bench binaries use.
  */
 class Runner
@@ -158,25 +150,36 @@ class Runner
     std::vector<Outcome> runSweep(const std::vector<SweepCell> &cells,
                                   unsigned jobs = 0);
 
-    /** Run one cell (dispatches on its policy). */
+    /** Run one cell. */
     Outcome run(const SweepCell &cell);
 
-    /** MCD baseline: all domains at maximum frequency. */
-    Outcome baseline(const std::string &bench);
+    /**
+     * Run @p spec on @p bench: canonicalize against the registry
+     * (fatal on an unknown policy/parameter), memoize under the
+     * canonical cache key, and compute metrics vs the MCD baseline
+     * where the policy asks for it.
+     */
+    Outcome run(const std::string &bench,
+                const control::PolicySpec &spec);
 
-    /** Profile-driven reconfiguration (trained on the training set,
-     *  measured on the reference set). */
+    // ------------------------------------------------------------ //
+    // Deprecated entry points for the old closed policy set.  Thin  //
+    // shims over run(bench, spec); kept so pre-registry call sites  //
+    // compile, and pinned bit-identical by tests/test_policy.cc.    //
+    // ------------------------------------------------------------ //
+
+    /** @deprecated Use run(bench, PolicySpec::of("baseline")). */
+    Outcome baseline(const std::string &bench);
+    /** @deprecated Use run() with a "profile:mode=...,d=..." spec. */
     Outcome profile(const std::string &bench, core::ContextMode mode,
                     double d);
-
-    /** Off-line perfect-knowledge oracle at threshold d. */
+    /** @deprecated Use run() with an "offline:d=..." spec. */
     Outcome offline(const std::string &bench, double d);
-
-    /** On-line attack/decay at the given aggressiveness. */
+    /** @deprecated Use run() with an "online:aggr=..." spec. */
     Outcome online(const std::string &bench, double aggressiveness);
-
-    /** Global single-clock DVS matched to the off-line run time at
-     *  the harness's default d. */
+    /** @deprecated Use run() with a "global" spec (the old entry
+     *  matched the off-line run at `ExpConfig::d`, so the shim
+     *  passes that as the spec's d). */
     Outcome global(const std::string &bench);
 
     const ExpConfig &config() const { return cfg; }
@@ -186,6 +189,15 @@ class Runner
 
     /** Non-empty CSV lines rejected as malformed at construction. */
     std::size_t rejectedCacheLines() const { return nRejected; }
+
+    /**
+     * The memo/CSV cache key of a canonical spec on this runner:
+     * `v<CACHE_VERSION>|c<fingerprint>|<canonical spec>|<bench>|
+     * <policy context key>`.  Exposed so tests can pin key
+     * stability; fatal on a non-canonicalizable spec.
+     */
+    std::string cacheKey(const std::string &bench,
+                         const control::PolicySpec &spec) const;
 
   private:
     class CacheWriter;
@@ -203,6 +215,13 @@ class Runner
     static constexpr std::size_t NUM_SHARDS = 16;
 
     Shard &shardFor(const std::string &key);
+    /** Canonicalize @p spec (fatal on error), resolve its policy and
+     *  build the memo/CSV key — the single definition of the key
+     *  layout, shared by run() and cacheKey(). */
+    std::string resolve(const std::string &bench,
+                        const control::PolicySpec &spec,
+                        control::PolicySpec &canon,
+                        const control::Policy *&policy) const;
     Outcome memoize(const std::string &key,
                     const std::function<Outcome()> &compute);
     void store(const std::string &key, const Outcome &o);
@@ -211,6 +230,7 @@ class Runner
     std::string keyPrefix() const;
 
     ExpConfig cfg;
+    control::PolicyContext ctx;
     std::uint64_t fingerprint;
     std::array<Shard, NUM_SHARDS> shards;
     std::unique_ptr<CacheWriter> writer;

