@@ -35,19 +35,10 @@ main(int argc, char **argv)
     const auto &benches = workload::suiteNames();
     std::vector<exp::SweepCell> cells;
     for (const auto &bench : benches) {
-        cells.push_back(exp::SweepCell::of(
-            bench,
-            control::PolicySpec::of("global").set("d", HEADLINE_D)));
-        cells.push_back(exp::SweepCell::of(
-            bench, control::PolicySpec::of("online").set(
-                       "aggr", HEADLINE_AGGR)));
-        cells.push_back(exp::SweepCell::of(
-            bench,
-            control::PolicySpec::of("offline").set("d", HEADLINE_D)));
-        cells.push_back(exp::SweepCell::of(
-            bench, control::PolicySpec::of("profile")
-                       .set("mode", core::ContextMode::LF)
-                       .set("d", HEADLINE_D)));
+        cells.push_back(exp::SweepCell::of(bench, HEADLINE_GLOBAL));
+        cells.push_back(exp::SweepCell::of(bench, HEADLINE_ONLINE));
+        cells.push_back(exp::SweepCell::of(bench, HEADLINE_OFFLINE));
+        cells.push_back(exp::SweepCell::of(bench, HEADLINE_PROFILE));
     }
     std::vector<exp::Outcome> out = runner.runSweep(cells);
     for (std::size_t b = 0; b < benches.size(); ++b) {

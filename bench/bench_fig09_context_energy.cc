@@ -40,10 +40,7 @@ main(int argc, char **argv)
     std::vector<exp::SweepCell> cells;
     for (const char *bench : interesting)
         for (auto m : modes)
-            cells.push_back(exp::SweepCell::of(
-                bench, control::PolicySpec::of("profile")
-                           .set("mode", m)
-                           .set("d", HEADLINE_D)));
+            cells.push_back(exp::SweepCell::of(bench, modeSpec(m)));
     std::vector<exp::Outcome> out = runner.runSweep(cells);
     std::size_t i = 0;
     for (const char *bench : interesting) {

@@ -26,19 +26,15 @@ main(int argc, char **argv)
     for (double d : d_points)
         for (const auto &bench : benches)
             cells.push_back(exp::SweepCell::of(
-                bench,
-                control::PolicySpec::of("offline").set("d", d)));
+                bench, strprintf("offline:d=%g", d)));
     for (double d : d_points)
         for (const auto &bench : benches)
             cells.push_back(exp::SweepCell::of(
-                bench, control::PolicySpec::of("profile")
-                           .set("mode", core::ContextMode::LF)
-                           .set("d", d)));
+                bench, strprintf("profile:mode=LF,d=%g", d)));
     for (double a : aggr_points)
         for (const auto &bench : benches)
             cells.push_back(exp::SweepCell::of(
-                bench,
-                control::PolicySpec::of("online").set("aggr", a)));
+                bench, strprintf("online:aggr=%g", a)));
     std::vector<exp::Outcome> out = runner.runSweep(cells);
 
     TextTable t;

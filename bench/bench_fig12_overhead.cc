@@ -36,10 +36,8 @@ main(int argc, char **argv)
     std::vector<exp::SweepCell> cells;
     for (const auto &bench : benches)
         for (int i = 0; i < 6; ++i)
-            cells.push_back(exp::SweepCell::of(
-                bench, control::PolicySpec::of("profile")
-                           .set("mode", modes[i])
-                           .set("d", HEADLINE_D)));
+            cells.push_back(
+                exp::SweepCell::of(bench, modeSpec(modes[i])));
     std::vector<exp::Outcome> out = runner.runSweep(cells);
     for (std::size_t b = 0; b < benches.size(); ++b) {
         for (int i = 0; i < 6; ++i) {

@@ -26,9 +26,7 @@ main(int argc, char **argv)
     std::vector<exp::SweepCell> cells;
     for (const auto &bench : benches)
         cells.push_back(exp::SweepCell::of(
-            bench, control::PolicySpec::of("profile")
-                       .set("mode", core::ContextMode::LFCP)
-                       .set("d", HEADLINE_D)));
+            bench, modeSpec(core::ContextMode::LFCP)));
     std::vector<exp::Outcome> out = runner.runSweep(cells);
     for (std::size_t b = 0; b < benches.size(); ++b) {
         const std::string &bench = benches[b];

@@ -1,11 +1,23 @@
 /**
  * @file
  * Google-benchmark microbenchmarks of the infrastructure itself:
- * workload stream generation, cycle-level simulation, call-tree
- * profiling and shaker analysis throughput.
+ * workload stream generation, cycle-level simulation (with the
+ * idle-edge fast-forward kernel on and off), call-tree profiling and
+ * shaker analysis throughput.
+ *
+ * Beyond the standard Google Benchmark flags, `--json FILE` writes a
+ * machine-readable summary ({name, wall_ms, iterations} per
+ * benchmark) for the CI perf-trajectory artifact.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <locale>
+#include <string>
+#include <vector>
 
 #include "core/profiler.hh"
 #include "core/shaker.hh"
@@ -51,6 +63,26 @@ BM_CycleSimulation(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * 30'000);
 }
 BENCHMARK(BM_CycleSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_CycleSimulationSlowPath(benchmark::State &state)
+{
+    // The same run with idle-edge fast-forward disabled: the gap to
+    // BM_CycleSimulation is the kernel's win on an integer workload
+    // whose FP domain is idle.  Results are identical in both modes.
+    workload::Benchmark bm = workload::makeBenchmark("gsm_decode");
+    sim::SimConfig scfg;
+    scfg.fastForward = false;
+    power::PowerConfig pcfg;
+    for (auto _ : state) {
+        sim::Processor proc(scfg, pcfg, bm.program, bm.train);
+        auto r = proc.run(30'000);
+        benchmark::DoNotOptimize(r.timePs);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 30'000);
+}
+BENCHMARK(BM_CycleSimulationSlowPath)->Unit(benchmark::kMillisecond);
 
 void
 BM_Profiling(benchmark::State &state)
@@ -137,6 +169,97 @@ BENCHMARK(BM_SweepEngine)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/**
+ * Console reporter that additionally records every non-aggregate run
+ * and, at exit, writes the machine-readable summary for --json.
+ */
+class JsonTeeReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit JsonTeeReporter(std::string path) : path(std::move(path))
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            if (r.run_type == Run::RT_Aggregate)
+                continue;
+            Row row;
+            row.name = r.benchmark_name();
+            row.wallMs = r.iterations
+                             ? r.real_accumulated_time /
+                                   static_cast<double>(r.iterations) *
+                                   1e3
+                             : 0.0;
+            row.iterations = r.iterations;
+            rows.push_back(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    void
+    Finalize() override
+    {
+        ConsoleReporter::Finalize();
+        std::ofstream out;
+        out.imbue(std::locale::classic());
+        out.open(path);
+        if (!out) {
+            std::fprintf(stderr,
+                         "bench_throughput: cannot write '%s'\n",
+                         path.c_str());
+            return;
+        }
+        out.precision(6);
+        out << "{\n  \"benchmarks\": [\n";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            out << "    {\"name\": \"" << rows[i].name
+                << "\", \"wall_ms\": " << std::fixed
+                << rows[i].wallMs << std::defaultfloat
+                << ", \"iterations\": " << rows[i].iterations << "}"
+                << (i + 1 < rows.size() ? "," : "") << "\n";
+        }
+        out << "  ]\n}\n";
+    }
+
+  private:
+    struct Row
+    {
+        std::string name;
+        double wallMs = 0.0;
+        std::int64_t iterations = 0;
+    };
+    std::string path;
+    std::vector<Row> rows;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off --json FILE before Google Benchmark sees the args (it
+    // hard-errors on flags it does not know).
+    std::string json_path;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+            json_path = argv[++i];
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    if (json_path.empty()) {
+        benchmark::RunSpecifiedBenchmarks();
+    } else {
+        JsonTeeReporter reporter(std::move(json_path));
+        benchmark::RunSpecifiedBenchmarks(&reporter);
+    }
+    return 0;
+}

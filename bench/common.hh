@@ -19,6 +19,9 @@
  *                    binary
  *   --list-policies  print the policy registry (names, parameters,
  *                    defaults) and exit
+ *   --no-fast-forward  run the simulation kernel without idle-edge
+ *                    fast-forward (slower; identical results — the
+ *                    CI equivalence gate diffs the two modes)
  *   --help           print usage and exit
  *
  * Unrecognized arguments are a hard error: a typo like `--job 4`
@@ -47,10 +50,30 @@
 namespace mcd::bench
 {
 
-/** Slowdown threshold used for the headline figures (4-7). */
-constexpr double HEADLINE_D = 10.0;
-/** On-line aggressiveness used for the headline figures. */
-constexpr double HEADLINE_AGGR = 1.0;
+/**
+ * Sweep cells are built from terse spec strings ("offline:d=10",
+ * "profile:mode=LF,d=10") that canonicalize against the policy
+ * schemas.  The headline figures (4-7) and Table 4 all run at the
+ * paper's headline slowdown threshold and on-line aggressiveness;
+ * the constants below are the single place those parameters live.
+ */
+
+/** Headline slowdown parameter (d=10%), shared by every headline
+ *  spec and by modeSpec(). */
+inline const std::string HEADLINE_D_PARAM = "d=10";
+inline const std::string HEADLINE_OFFLINE = "offline:" + HEADLINE_D_PARAM;
+inline const std::string HEADLINE_GLOBAL = "global:" + HEADLINE_D_PARAM;
+inline const std::string HEADLINE_PROFILE =
+    "profile:mode=LF," + HEADLINE_D_PARAM;
+inline const std::string HEADLINE_ONLINE = "online:aggr=1";
+
+/** Headline profile spec for one context mode: "profile:mode=M,d=10". */
+inline std::string
+modeSpec(core::ContextMode m)
+{
+    return std::string("profile:mode=") + control::compactModeName(m) +
+           "," + HEADLINE_D_PARAM;
+}
 
 /** Parsed command line: the harness configuration plus any --policy
  *  override specs. */
@@ -86,6 +109,8 @@ printUsage(const char *argv0, std::FILE *to)
         "                   (the figures themselves use the "
         "headline d=10)\n"
         "  --list-policies  print the policy registry and exit\n"
+        "  --no-fast-forward  disable the kernel's idle-edge "
+        "fast-forward (identical results, slower)\n"
         "  --help           print this message and exit\n",
         argv0);
 }
@@ -166,6 +191,8 @@ parseArgs(int argc, char **argv)
                 std::exit(1);
             }
             opt.policies.push_back(std::move(spec));
+        } else if (!std::strcmp(argv[i], "--no-fast-forward")) {
+            cfg.sim.fastForward = false;
         } else if (!std::strcmp(argv[i], "--list-policies")) {
             listPolicies();
             std::exit(0);
@@ -266,16 +293,9 @@ headlineSweep(exp::Runner &runner)
     const auto &benches = workload::suiteNames();
     std::vector<exp::SweepCell> cells;
     for (const auto &bench : benches) {
-        cells.push_back(exp::SweepCell::of(
-            bench,
-            control::PolicySpec::of("offline").set("d", HEADLINE_D)));
-        cells.push_back(exp::SweepCell::of(
-            bench, control::PolicySpec::of("online").set(
-                       "aggr", HEADLINE_AGGR)));
-        cells.push_back(exp::SweepCell::of(
-            bench, control::PolicySpec::of("profile")
-                       .set("mode", core::ContextMode::LF)
-                       .set("d", HEADLINE_D)));
+        cells.push_back(exp::SweepCell::of(bench, HEADLINE_OFFLINE));
+        cells.push_back(exp::SweepCell::of(bench, HEADLINE_ONLINE));
+        cells.push_back(exp::SweepCell::of(bench, HEADLINE_PROFILE));
     }
     std::vector<exp::Outcome> out = runner.runSweep(cells);
     std::vector<HeadlineRow> rows;

@@ -39,8 +39,8 @@ AttackDecayController::onInterval(const sim::IntervalStats &s,
     // with itself (that failure mode is a death spiral).
     bestIpc = std::max(bestIpc * 0.998, s.ipc);
     if (!first && s.ipc < bestIpc * (1.0 - guard)) {
-        for (int d = 0; d < NUM_SCALED_DOMAINS; ++d)
-            ctl.setTarget(static_cast<Domain>(d), fMax);
+        for (Domain d : scaledDomains())
+            ctl.setTarget(d, fMax);
         ++nRecoveries;
         // Repeated recoveries relax the reference a little so a
         // permanent phase change cannot pin the chip at full speed.
@@ -50,10 +50,9 @@ AttackDecayController::onInterval(const sim::IntervalStats &s,
         return;
     }
 
-    for (int d = 0; d < NUM_SCALED_DOMAINS; ++d) {
-        Domain dom = static_cast<Domain>(d);
-        double u = util[static_cast<size_t>(d)];
-        double pu = prevUtil[static_cast<size_t>(d)];
+    for (Domain dom : scaledDomains()) {
+        double u = util[domainIndex(dom)];
+        double pu = prevUtil[domainIndex(dom)];
         Mhz f = ctl.targetFreq(dom);
 
         if (dom == Domain::FrontEnd) {

@@ -59,8 +59,7 @@ class IpcGuardHook final : public sim::IntervalHook
             // moves; during a sustained collapse the chip is already
             // at full speed and re-asserting it is a no-op.
             bool moves = false;
-            for (int d = 0; d < NUM_SCALED_DOMAINS; ++d) {
-                Domain dom = static_cast<Domain>(d);
+            for (Domain dom : scaledDomains()) {
                 if (ctl.targetFreq(dom) != fMax)
                     moves = true;
                 ctl.setTarget(dom, fMax);

@@ -20,8 +20,10 @@ namespace
 /** Cache schema version: bump when simulation physics or the key or
  *  line format change.  v3: keys carry the canonical PolicySpec
  *  string (policy:key=value,...) instead of per-policy ad-hoc
- *  fragments. */
-constexpr int CACHE_VERSION = 3;
+ *  fragments.  v4: SimConfig::fastForward joined the fingerprint
+ *  (energy totals differ between kernel modes in their last bits,
+ *  so outcomes from the two modes must never share a cache line). */
+constexpr int CACHE_VERSION = 4;
 
 /** Numeric payload fields per cache line (after the key). */
 constexpr std::size_t NUM_LINE_FIELDS = 11;
@@ -176,6 +178,7 @@ configFingerprint(const ExpConfig &cfg)
     f.f64(s.syncWindowFrac);
     f.u64(s.singleClock ? 1 : 0);
     f.u64(s.jitterSeed);
+    f.u64(s.fastForward ? 1 : 0);
     f.u64(s.watchdogPs);
 
     const power::PowerConfig &p = cfg.power;

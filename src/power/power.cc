@@ -85,7 +85,7 @@ PowerModel::accessTo(Unit u, Domain d, Volt v, int n)
     if (d == Domain::External)
         dramNj += nj;
     else
-        domainNj[static_cast<int>(d)] += nj;
+        domainNj[domainIndex(d)] += nj;
 }
 
 void
@@ -93,8 +93,18 @@ PowerModel::clockCycle(Domain d, Volt v)
 {
     if (d == Domain::External)
         return;
-    domainNj[static_cast<int>(d)] +=
-        cfg.clockPj[static_cast<int>(d)] * scaleV2(v) / 1000.0;
+    domainNj[domainIndex(d)] +=
+        cfg.clockPj[domainIndex(d)] * scaleV2(v) / 1000.0;
+}
+
+void
+PowerModel::clockCycles(Domain d, Volt v, std::uint64_t n)
+{
+    if (d == Domain::External || n == 0)
+        return;
+    domainNj[domainIndex(d)] += cfg.clockPj[domainIndex(d)] *
+                                scaleV2(v) / 1000.0 *
+                                static_cast<double>(n);
 }
 
 void
@@ -103,8 +113,8 @@ PowerModel::leakage(Domain d, Volt v, Tick dt_ps)
     if (d == Domain::External)
         return;
     // W * ps = 1e-12 J = 1e-3 nJ
-    domainNj[static_cast<int>(d)] +=
-        cfg.leakW[static_cast<int>(d)] * (v / cfg.vMax) *
+    domainNj[domainIndex(d)] +=
+        cfg.leakW[domainIndex(d)] * (v / cfg.vMax) *
         static_cast<double>(dt_ps) * 1e-3;
 }
 
@@ -114,7 +124,7 @@ PowerModel::extra(Domain d, double pj)
     if (d == Domain::External)
         dramNj += pj / 1000.0;
     else
-        domainNj[static_cast<int>(d)] += pj / 1000.0;
+        domainNj[domainIndex(d)] += pj / 1000.0;
 }
 
 double
@@ -131,7 +141,7 @@ PowerModel::domainEnergyNj(Domain d) const
 {
     if (d == Domain::External)
         return dramNj;
-    return domainNj[static_cast<int>(d)];
+    return domainNj[domainIndex(d)];
 }
 
 } // namespace mcd::power

@@ -68,6 +68,21 @@ DomainClock::advance()
     }
 }
 
+std::uint64_t
+DomainClock::fastForwardTo(Tick t)
+{
+    // Consuming each edge through advance() keeps the edge schedule
+    // bit-identical to stepping by construction: one jitter draw per
+    // edge, the same arithmetic.  (A hand-specialized loop saves
+    // nothing measurable — the Box-Muller jitter draw dominates.)
+    std::uint64_t n = 0;
+    while (jitteredNext < t) {
+        advance();
+        ++n;
+    }
+    return n;
+}
+
 Mhz
 DomainClock::averageFreq() const
 {

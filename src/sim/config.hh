@@ -89,6 +89,19 @@ struct SimConfig
     /** Seed for clock jitter randomization. */
     std::uint64_t jitterSeed = 7777;
 
+    /**
+     * Idle-edge fast-forward: the simulation kernel parks domains
+     * that provably have no work (empty issue queue, stable
+     * frequency) and replays their skipped edges in batch when they
+     * wake.  Edge times, instruction timing and every counter are
+     * bit-identical to the slow path — each skipped edge still draws
+     * its jitter sample and the ramp never runs while parked — only
+     * the floating-point summation order of energy totals differs
+     * (below any reported precision).  Part of the memo-cache
+     * fingerprint so outcomes from the two modes never mix.
+     */
+    bool fastForward = true;
+
     /** Safety: abort if no instruction commits for this many ps. */
     Tick watchdogPs = 400ULL * 1000 * 1000;
 

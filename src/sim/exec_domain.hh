@@ -1,0 +1,60 @@
+/**
+ * @file
+ * An execution clock domain component (integer, floating point or
+ * memory): issue-queue wakeup/select and functional-unit execution,
+ * including the load/store timing through the L1D/L2/DRAM hierarchy
+ * for the memory domain — the stage logic that runs on every edge of
+ * that domain's clock.
+ *
+ * State lives on the owning Processor (the issue queues feed from
+ * the shared ROB); this class is the per-domain *logic* plus its
+ * scheduling contract with the Kernel: an exec domain is idle
+ * exactly while its issue queue is empty, and only a front-end
+ * dispatch can end that, so the kernel parks it until the front end
+ * wakes it.
+ */
+
+#ifndef MCD_SIM_EXEC_DOMAIN_HH
+#define MCD_SIM_EXEC_DOMAIN_HH
+
+#include <cstdint>
+
+#include "sim/kernel.hh"
+#include "util/types.hh"
+
+namespace mcd::sim
+{
+
+class Processor;
+
+class ExecDomain final : public DomainComponent
+{
+  public:
+    ExecDomain(Processor &p, Domain d, int issue_width)
+        : p(p), dom(d), width(issue_width)
+    {
+    }
+
+    /** One domain edge: sample queue occupancy, then issue up to
+     *  the domain's width of ready instructions in age order. */
+    void tick(Tick now) override;
+
+    /** Idle (until woken by a dispatch) iff the issue queue is
+     *  empty. */
+    Tick idleHorizon() const override;
+
+    /** Skipped edges advance the occupancy sample count only (the
+     *  occupancy sum gains zeros while the queue is empty). */
+    void skipped(std::uint64_t n) override;
+
+  private:
+    bool tryIssue(Tick now, std::uint64_t seq);
+
+    Processor &p;
+    Domain dom;
+    int width;
+};
+
+} // namespace mcd::sim
+
+#endif // MCD_SIM_EXEC_DOMAIN_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The front-end clock domain component: fetch (with markers, branch
+ * prediction and the I-cache), decode/dispatch into the per-domain
+ * issue queues, and in-order commit from the ROB — the stage logic
+ * that runs on every front-end clock edge.
+ *
+ * State lives on the owning Processor (the instruction window is
+ * shared with the exec domains); this class is the front-end *logic*
+ * plus its scheduling contract with the Kernel: it is idle exactly
+ * when the window is drained and fetch is blocked until a known
+ * time, and an idle front end implies the whole pipeline is empty,
+ * so the kernel can jump straight to the unblock time.
+ */
+
+#ifndef MCD_SIM_FRONTEND_HH
+#define MCD_SIM_FRONTEND_HH
+
+#include "sim/kernel.hh"
+#include "sim/trace.hh"
+#include "util/types.hh"
+
+namespace mcd::sim
+{
+
+class Processor;
+
+class Frontend final : public DomainComponent
+{
+  public:
+    explicit Frontend(Processor &p) : p(p) {}
+
+    /** One front-end edge: commit, dispatch, fetch (in that order,
+     *  so a dispatch slot freed by commit is usable this cycle). */
+    void tick(Tick now) override;
+
+    /**
+     * Busy whenever anything is in flight (ROB or fetch queue
+     * non-empty) or fetch can proceed; otherwise idle until the
+     * latest of the fetch-blocking horizons (instrumentation stall,
+     * I-cache miss, mispredict redirect), all of which are known
+     * once the window has drained.
+     */
+    Tick idleHorizon() const override;
+
+    /** Skipped edges advance the front-end cycle counter and its
+     *  occupancy sample count (the sums gain only zeros). */
+    void skipped(std::uint64_t n) override;
+
+  private:
+    void fetch(Tick now);
+    void dispatch(Tick now);
+    void commit(Tick now);
+    bool streamFetchBlocked(Tick now);
+    void applyMarker(const MarkerAction &a, Tick now);
+
+    Processor &p;
+};
+
+} // namespace mcd::sim
+
+#endif // MCD_SIM_FRONTEND_HH

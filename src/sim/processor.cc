@@ -1,15 +1,9 @@
 #include "sim/processor.hh"
 
-#include <algorithm>
-
 #include "util/logging.hh"
 
 namespace mcd::sim
 {
-
-using workload::InstrClass;
-using workload::MarkerKind;
-using workload::StreamItem;
 
 Processor::Processor(const SimConfig &c, const power::PowerConfig &pc,
                      const workload::Program &prog,
@@ -22,6 +16,12 @@ Processor::Processor(const SimConfig &c, const power::PowerConfig &pc,
       memory(c.memLatencyPs, c.memBusPs),
       bpred(),
       stream(prog, in),
+      kernel(cfg, power_),
+      frontend(*this),
+      execDomains{{ExecDomain(*this, Domain::Integer, c.intIssueWidth),
+                   ExecDomain(*this, Domain::FloatingPoint,
+                              c.fpIssueWidth),
+                   ExecDomain(*this, Domain::Memory, c.memIssueWidth)}},
       intRegsFree(c.intRegs),
       fpRegsFree(c.fpRegs),
       intAluBusy(static_cast<size_t>(c.intAlus), 0),
@@ -30,12 +30,10 @@ Processor::Processor(const SimConfig &c, const power::PowerConfig &pc,
       fpMulBusy(static_cast<size_t>(c.fpMulDiv), 0),
       memPortBusy(static_cast<size_t>(c.memPorts), 0)
 {
-    Rng seed_rng(cfg.jitterSeed);
-    bool jitter = !cfg.singleClock;
-    for (int d = 0; d < NUM_SCALED_DOMAINS; ++d) {
-        clocks[d] = std::make_unique<DomainClock>(
-            cfg, static_cast<Domain>(d), jitter, seed_rng.fork());
-    }
+    kernel.attach(Domain::FrontEnd, &frontend);
+    kernel.attach(Domain::Integer, &execDomains[0]);
+    kernel.attach(Domain::FloatingPoint, &execDomains[1]);
+    kernel.attach(Domain::Memory, &execDomains[2]);
     producerRing.assign(256, 0);
 }
 
@@ -56,14 +54,14 @@ Processor::setSchedule(std::vector<SchedulePoint> sched)
 void
 Processor::setInitialFreqs(const FreqSet &freqs)
 {
-    for (int d = 0; d < NUM_SCALED_DOMAINS; ++d)
-        clocks[d]->jumpTo(freqs[static_cast<size_t>(d)]);
+    for (Domain d : scaledDomains())
+        kernel.jumpTo(d, freqs[domainIndex(d)]);
 }
 
 void
 Processor::setTarget(Domain d, Mhz f)
 {
-    clock(d).setTarget(f);
+    kernel.setTarget(d, f);
 }
 
 Mhz
@@ -131,632 +129,38 @@ Processor::operandReady(std::uint64_t producer_seq, Domain d,
     return true;  // retired long ago
 }
 
-void
-Processor::chargeLeakage(Tick now)
-{
-    Tick dt = now - lastLeakTime;
-    if (dt == 0)
-        return;
-    for (int d = 0; d < NUM_SCALED_DOMAINS; ++d) {
-        power_.leakage(static_cast<Domain>(d),
-                       clocks[d]->voltage(), dt);
-    }
-    lastLeakTime = now;
-}
-
-void
-Processor::applyMarker(const MarkerAction &a, Tick now)
-{
-    if (a.stallCycles > 0) {
-        Tick stall = static_cast<Tick>(a.stallCycles) *
-                     clock(Domain::FrontEnd).period();
-        Tick until = now + stall;
-        if (until > fetchStallUntil)
-            fetchStallUntil = until;
-        overheadCycleCount += static_cast<std::uint64_t>(a.stallCycles);
-    }
-    if (a.energyPj > 0.0) {
-        Volt v = clock(Domain::FrontEnd).voltage();
-        double r = v / power_.config().vMax;
-        power_.extra(Domain::FrontEnd, a.energyPj * r * r);
-    }
-    if (a.reconfig) {
-        for (int d = 0; d < NUM_SCALED_DOMAINS; ++d)
-            clocks[d]->setTarget(a.freqs[static_cast<size_t>(d)]);
-        ++reconfigCount;
-    }
-}
-
-bool
-Processor::streamFetchBlocked(Tick now)
-{
-    if (now < fetchStallUntil || now < icacheBlockedUntil)
-        return true;
-    if (blockedBranchSeq != 0) {
-        if (redirectAt == 0) {
-            const Uop *u = findUop(blockedBranchSeq);
-            if (u && u->completed) {
-                redirectAt = u->execDone +
-                             syncMargin(u->domain, Domain::FrontEnd) +
-                             static_cast<Tick>(cfg.mispredictPenalty) *
-                                 clock(Domain::FrontEnd).period();
-            }
-        }
-        if (redirectAt != 0 && now >= redirectAt) {
-            blockedBranchSeq = 0;
-            redirectAt = 0;
-            return false;
-        }
-        return true;
-    }
-    return false;
-}
-
-void
-Processor::fetch(Tick now)
-{
-    if (streamEnded || fetchedInstrs >= maxInstrs_)
-        return;
-    if (streamFetchBlocked(now))
-        return;
-
-    Volt fe_v = clock(Domain::FrontEnd).voltage();
-    int slots = cfg.fetchWidth;
-    while (slots > 0 && fetchedInstrs < maxInstrs_ &&
-           fetchQueue.size() <
-               static_cast<std::size_t>(cfg.fetchQueueSize)) {
-        StreamItem item;
-        if (haveHoldover) {
-            item = holdover;
-            haveHoldover = false;
-        } else if (!stream.next(item)) {
-            streamEnded = true;
-            break;
-        }
-
-        if (item.kind == StreamItem::Kind::Marker) {
-            MarkerAction action;
-            if (markerHandler)
-                action = markerHandler->onMarker(item.marker);
-            applyMarker(action, now);
-            if (action.stallCycles > 0)
-                break;  // instrumentation ends this fetch group
-            continue;   // markers consume no fetch slot
-        }
-
-        const workload::DynInstr &di = item.instr;
-        std::uint64_t line = di.pc / cfg.lineSize;
-        if (line != lastFetchLine) {
-            power_.access(power::Unit::Icache, fe_v);
-            if (!l1i.access(di.pc)) {
-                ++icacheMissCount;
-                Tick lat = syncMargin(Domain::FrontEnd, Domain::Memory);
-                Volt mem_v = clock(Domain::Memory).voltage();
-                power_.access(power::Unit::L2, mem_v);
-                lat += static_cast<Tick>(cfg.l2Latency) *
-                       clock(Domain::Memory).period();
-                if (!l2.access(di.pc)) {
-                    power_.access(power::Unit::Dram, power_.config().vMax);
-                    Tick t_mem = memory.access(now + lat);
-                    lat = (t_mem - now);
-                }
-                lat += syncMargin(Domain::Memory, Domain::FrontEnd);
-                icacheBlockedUntil = now + lat;
-                lastFetchLine = line;
-                holdover = item;
-                haveHoldover = true;
-                break;
-            }
-            lastFetchLine = line;
-        }
-
-        Uop u;
-        u.di = di;
-        u.seq = nextSeq++;
-        u.node = markerHandler ? markerHandler->currentNode() : 0;
-        u.domain = workload::execDomain(di.cls);
-        u.isLoad = di.cls == InstrClass::Load;
-        u.isStore = di.cls == InstrClass::Store;
-        u.fetchTime = now;
-
-        bool stop_group = false;
-        if (di.cls == InstrClass::Branch) {
-            power_.access(power::Unit::Bpred, fe_v);
-            BranchPrediction p = bpred.predict(di.pc);
-            bool mis = (p.taken != di.taken) ||
-                       (di.taken && (!p.btbHit || p.target != di.target));
-            u.mispredicted = mis;
-            if (mis) {
-                blockedBranchSeq = u.seq;
-                redirectAt = 0;
-                stop_group = true;
-            } else if (di.taken) {
-                stop_group = true;  // taken branch ends fetch group
-            }
-        }
-
-        FetchEntry fe;
-        fe.uop = u;
-        fe.readyFeTick = feTickCount +
-                         static_cast<std::uint64_t>(cfg.decodeDepth);
-        fetchQueue.push_back(fe);
-        ++fetchedInstrs;
-        --slots;
-        if (stop_group)
-            break;
-    }
-}
-
-void
-Processor::dispatch(Tick now)
-{
-    Volt fe_v = clock(Domain::FrontEnd).voltage();
-    int n = 0;
-    while (n < cfg.dispatchWidth && !fetchQueue.empty()) {
-        FetchEntry &fe = fetchQueue.front();
-        if (fe.readyFeTick > feTickCount)
-            break;
-        Uop &u = fe.uop;
-        if (rob.size() >= static_cast<std::size_t>(cfg.robSize))
-            break;
-        int d = static_cast<int>(u.domain);
-        std::size_t cap = 0;
-        switch (u.domain) {
-          case Domain::Integer:
-            cap = static_cast<std::size_t>(cfg.intIqSize);
-            break;
-          case Domain::FloatingPoint:
-            cap = static_cast<std::size_t>(cfg.fpIqSize);
-            break;
-          case Domain::Memory:
-            cap = static_cast<std::size_t>(cfg.lsqSize);
-            break;
-          default:
-            cap = 0;
-            break;
-        }
-        if (iq[static_cast<size_t>(d)].size() >= cap)
-            break;
-        bool needs_reg = workload::producesValue(u.di.cls);
-        bool fp_reg = u.domain == Domain::FloatingPoint;
-        if (needs_reg) {
-            if (fp_reg && fpRegsFree == 0)
-                break;
-            if (!fp_reg && intRegsFree == 0)
-                break;
-        }
-
-        // Resolve positional dependences against the producer ring
-        // (program order).
-        auto resolve = [&](std::uint8_t dist) -> std::uint64_t {
-            if (dist == 0)
-                return 0;
-            std::uint64_t produced =
-                producerCount >= producerRing.size()
-                    ? producerRing.size()
-                    : producerCount;
-            if (dist > produced)
-                return 0;
-            std::size_t idx =
-                (producerHead + producerRing.size() - dist) %
-                producerRing.size();
-            return producerRing[idx];
-        };
-        u.depSeq1 = resolve(u.di.dep1);
-        u.depSeq2 = resolve(u.di.dep2);
-
-        if (needs_reg) {
-            if (fp_reg)
-                --fpRegsFree;
-            else
-                --intRegsFree;
-            producerRing[producerHead] = u.seq;
-            producerHead = (producerHead + 1) % producerRing.size();
-            ++producerCount;
-        }
-
-        u.dispatchTime = now;
-        u.inIq = true;
-        if (u.isStore)
-            storeSeqs.push_back(u.seq);
-        rob.push_back(u);
-        iq[static_cast<size_t>(d)].push_back(u.seq);
-
-        power_.access(power::Unit::Rename, fe_v);
-        power_.access(power::Unit::Rob, fe_v);
-        power_.accessTo(power::Unit::IssueQueue, u.domain,
-                        clock(u.domain).voltage());
-
-        fetchQueue.pop_front();
-        ++n;
-    }
-}
-
-void
-Processor::commit(Tick now)
-{
-    Volt fe_v = clock(Domain::FrontEnd).voltage();
-    int n = 0;
-    while (n < cfg.retireWidth && !rob.empty()) {
-        Uop &u = rob.front();
-        if (!u.completed)
-            break;
-        Tick done = u.isLoad ? u.memDone : u.execDone;
-        if (now < done + syncMargin(u.domain, Domain::FrontEnd))
-            break;
-
-        // A mispredicted branch may retire before the fetch stage has
-        // computed its redirect time; do it here so the information
-        // survives the ROB entry.
-        if (u.seq == blockedBranchSeq && redirectAt == 0) {
-            redirectAt = u.execDone +
-                         syncMargin(u.domain, Domain::FrontEnd) +
-                         static_cast<Tick>(cfg.mispredictPenalty) *
-                             clock(Domain::FrontEnd).period();
-        }
-
-        if (u.di.cls == InstrClass::Branch) {
-            ++branches;
-            if (u.mispredicted)
-                ++mispredicts;
-            bpred.update(u.di.pc, u.di.taken, u.di.target);
-        }
-
-        if (u.isStore) {
-            // Write the cache at commit; timing is not blocking.
-            Volt mem_v = clock(Domain::Memory).voltage();
-            power_.access(power::Unit::Dcache, mem_v);
-            ++l1dAccessCount;
-            if (!l1d.access(u.di.addr)) {
-                ++l1dMissCount;
-                power_.access(power::Unit::L2, mem_v);
-                if (!l2.access(u.di.addr)) {
-                    ++l2MissCount;
-                    power_.access(power::Unit::Dram,
-                                  power_.config().vMax);
-                    memory.access(now);
-                }
-            }
-            if (!storeSeqs.empty() && storeSeqs.front() == u.seq)
-                storeSeqs.pop_front();
-        }
-
-        power_.access(power::Unit::Rob, fe_v);
-
-        if (workload::producesValue(u.di.cls)) {
-            Tick ready = u.isLoad ? u.memDone : u.execDone;
-            valueRing[u.seq % VALUE_RING] = ValueEntry{u.seq, ready};
-            if (u.domain == Domain::FloatingPoint)
-                ++fpRegsFree;
-            else
-                ++intRegsFree;
-        }
-
-        if (traceSink) {
-            InstrTiming t;
-            t.seq = u.seq;
-            t.node = u.node;
-            t.cls = u.di.cls;
-            t.domain = u.domain;
-            t.dep1 = u.depSeq1;
-            t.dep2 = u.depSeq2;
-            t.fetch = u.fetchTime;
-            t.dispatch = u.dispatchTime;
-            t.issue = u.issueTime;
-            t.execDone = u.execDone;
-            t.memStart = u.memStart;
-            t.memDone = u.memDone;
-            t.commit = now;
-            t.l1Miss = u.l1Miss;
-            t.l2Miss = u.l2Miss;
-            t.mispredict = u.mispredicted;
-            traceSink->onInstr(t);
-        }
-
-        rob.pop_front();
-        ++committedInstrs;
-        lastCommitTime = now;
-        ++n;
-
-        while (schedulePos < schedule.size() &&
-               committedInstrs >= schedule[schedulePos].atInstr) {
-            for (int d = 0; d < NUM_SCALED_DOMAINS; ++d)
-                clocks[d]->setTarget(
-                    schedule[schedulePos].freqs[static_cast<size_t>(d)]);
-            ++reconfigCount;
-            ++schedulePos;
-        }
-
-        if (intervalHook && intervalInstrs > 0 &&
-            committedInstrs - intervalStartInstrs >= intervalInstrs) {
-            IntervalStats s;
-            s.instrs = committedInstrs - intervalStartInstrs;
-            s.timePs = now - intervalStartTime;
-            std::uint64_t fe_cyc = feTickCount - intervalStartFeCycles;
-            s.ipc = fe_cyc ? static_cast<double>(s.instrs) /
-                                 static_cast<double>(fe_cyc)
-                           : 0.0;
-            for (int d = 0; d < NUM_SCALED_DOMAINS; ++d) {
-                std::uint64_t samples =
-                    occSamples[static_cast<size_t>(d)];
-                s.queueOcc[static_cast<size_t>(d)] =
-                    samples ? occSum[static_cast<size_t>(d)] /
-                                  static_cast<double>(samples)
-                            : 0.0;
-            }
-            std::uint64_t fe_samples =
-                occSamples[static_cast<size_t>(Domain::FrontEnd)];
-            s.robOcc = fe_samples
-                           ? robOccSum / static_cast<double>(fe_samples)
-                           : 0.0;
-            intervalHook->onInterval(s, *this);
-            occSum.fill(0.0);
-            occSamples.fill(0);
-            robOccSum = 0.0;
-            intervalStartInstrs = committedInstrs;
-            intervalStartTime = now;
-            intervalStartFeCycles = feTickCount;
-        }
-    }
-}
-
-void
-Processor::feTick(Tick now)
-{
-    ++feTickCount;
-    occSum[static_cast<size_t>(Domain::FrontEnd)] +=
-        static_cast<double>(fetchQueue.size());
-    robOccSum += static_cast<double>(rob.size());
-    ++occSamples[static_cast<size_t>(Domain::FrontEnd)];
-    commit(now);
-    dispatch(now);
-    fetch(now);
-}
-
-bool
-Processor::tryIssue(Domain d, Tick now, std::uint64_t seq)
-{
-    Uop *up = findUop(seq);
-    if (!up)
-        panic("IQ entry %llu missing from ROB",
-              static_cast<unsigned long long>(seq));
-    Uop &u = *up;
-
-    // Dispatch-to-issue-queue synchronization (front end -> domain).
-    if (now < u.dispatchTime + syncMargin(Domain::FrontEnd, d))
-        return false;
-    if (!operandReady(u.depSeq1, d, now) ||
-        !operandReady(u.depSeq2, d, now))
-        return false;
-
-    // Loads: memory ordering against older in-flight stores to the
-    // same address (conservative exact-address disambiguation with
-    // store-to-load forwarding).
-    bool forwarded = false;
-    Tick forward_ready = 0;
-    if (u.isLoad) {
-        for (auto it = storeSeqs.rbegin(); it != storeSeqs.rend();
-             ++it) {
-            if (*it >= u.seq)
-                continue;
-            const Uop *s = findUop(*it);
-            if (!s)
-                break;  // older stores retired: no conflict possible
-            if (s->di.addr != u.di.addr)
-                continue;
-            if (!s->completed)
-                return false;  // data not ready yet
-            forwarded = true;
-            forward_ready = s->execDone;
-            break;
-        }
-    }
-
-    // Functional unit allocation, in domain edge counts (exact under
-    // jitter).
-    Tick period = clock(d).period();
-    std::uint64_t cur_edge = clock(d).edges();
-    auto take_pipelined = [&](std::vector<Tick> &units) -> bool {
-        for (auto &busy : units) {
-            if (busy <= cur_edge) {
-                busy = cur_edge + 1;
-                return true;
-            }
-        }
-        return false;
-    };
-    auto take_blocking = [&](std::vector<Tick> &units,
-                             std::uint64_t lat_edges) -> bool {
-        for (auto &busy : units) {
-            if (busy <= cur_edge) {
-                busy = cur_edge + lat_edges;
-                return true;
-            }
-        }
-        return false;
-    };
-
-    Volt v = clock(d).voltage();
-    int lat = 0;
-    switch (u.di.cls) {
-      case InstrClass::IntAlu:
-      case InstrClass::Branch:
-        if (!take_pipelined(intAluBusy))
-            return false;
-        lat = cfg.latIntAlu;
-        power_.access(power::Unit::IntAlu, v);
-        break;
-      case InstrClass::IntMul:
-        if (!take_pipelined(intMulBusy))
-            return false;
-        lat = cfg.latIntMul;
-        power_.access(power::Unit::IntMul, v);
-        break;
-      case InstrClass::IntDiv:
-        lat = cfg.latIntDiv;
-        if (!take_blocking(intMulBusy, static_cast<std::uint64_t>(lat)))
-            return false;
-        power_.access(power::Unit::IntMul, v);
-        break;
-      case InstrClass::FpAdd:
-        if (!take_pipelined(fpAluBusy))
-            return false;
-        lat = cfg.latFpAdd;
-        power_.access(power::Unit::FpAlu, v);
-        break;
-      case InstrClass::FpMul:
-        if (!take_pipelined(fpMulBusy))
-            return false;
-        lat = cfg.latFpMul;
-        power_.access(power::Unit::FpMul, v);
-        break;
-      case InstrClass::FpDiv:
-      case InstrClass::FpSqrt:
-        lat = u.di.cls == InstrClass::FpDiv ? cfg.latFpDiv
-                                            : cfg.latFpSqrt;
-        if (!take_blocking(fpMulBusy, static_cast<std::uint64_t>(lat)))
-            return false;
-        power_.access(power::Unit::FpMul, v);
-        break;
-      case InstrClass::Load:
-      case InstrClass::Store:
-        if (!take_pipelined(memPortBusy))
-            return false;
-        lat = 1;
-        power_.access(power::Unit::Lsq, v);
-        break;
-      default:
-        return false;
-    }
-
-    // Register file reads for the source operands.
-    int n_src = (u.depSeq1 ? 1 : 0) + (u.depSeq2 ? 1 : 0);
-    if (n_src > 0) {
-        power::Unit rf = d == Domain::FloatingPoint
-                             ? power::Unit::RegFileFp
-                             : power::Unit::RegFileInt;
-        power_.accessTo(rf, d, v, n_src);
-    }
-
-    u.issueTime = now;
-    u.issued = true;
-    u.inIq = false;
-    u.execDone = now + static_cast<Tick>(lat) * period;
-    u.execDoneEdge = cur_edge + static_cast<std::uint64_t>(lat);
-    u.completed = true;
-
-    if (u.isLoad) {
-        u.memStart = u.execDone;
-        Volt mem_v = clock(Domain::Memory).voltage();
-        if (forwarded) {
-            Tick data = std::max(u.memStart, forward_ready);
-            u.memDone = data + static_cast<Tick>(cfg.l1Latency) * period;
-        } else {
-            power_.access(power::Unit::Dcache, mem_v);
-            ++l1dAccessCount;
-            Tick t = u.memStart +
-                     static_cast<Tick>(cfg.l1Latency) * period;
-            if (!l1d.access(u.di.addr)) {
-                u.l1Miss = true;
-                ++l1dMissCount;
-                power_.access(power::Unit::L2, mem_v);
-                t += static_cast<Tick>(cfg.l2Latency) * period;
-                if (!l2.access(u.di.addr)) {
-                    u.l2Miss = true;
-                    ++l2MissCount;
-                    power_.access(power::Unit::Dram,
-                                  power_.config().vMax);
-                    t = memory.access(t) +
-                        syncMargin(Domain::External, Domain::Memory);
-                }
-            }
-            u.memDone = t;
-        }
-    }
-    return true;
-}
-
-void
-Processor::execTick(Domain d, Tick now)
-{
-    auto &queue = iq[static_cast<size_t>(d)];
-    occSum[static_cast<size_t>(d)] += static_cast<double>(queue.size());
-    ++occSamples[static_cast<size_t>(d)];
-
-    int width = 0;
-    switch (d) {
-      case Domain::Integer:
-        width = cfg.intIssueWidth;
-        break;
-      case Domain::FloatingPoint:
-        width = cfg.fpIssueWidth;
-        break;
-      case Domain::Memory:
-        width = cfg.memIssueWidth;
-        break;
-      default:
-        return;
-    }
-
-    int issued = 0;
-    for (auto it = queue.begin(); it != queue.end() && issued < width;) {
-        if (tryIssue(d, now, *it)) {
-            it = queue.erase(it);
-            ++issued;
-        } else {
-            ++it;
-        }
-    }
-}
-
 RunResult
 Processor::run(std::uint64_t max_instrs)
 {
     maxInstrs_ = max_instrs;
-    Tick now = 0;
     Tick last_progress_check = 0;
     std::uint64_t last_progress_instrs = 0;
 
-    while (true) {
-        bool fetch_exhausted = streamEnded ||
-                               fetchedInstrs >= maxInstrs_;
-        if (fetch_exhausted && rob.empty() && fetchQueue.empty())
-            break;
-
-        int best = 0;
-        Tick best_t = clocks[0]->nextEdge();
-        for (int d = 1; d < NUM_SCALED_DOMAINS; ++d) {
-            if (clocks[d]->nextEdge() < best_t) {
-                best_t = clocks[d]->nextEdge();
-                best = d;
+    Tick end = kernel.run(
+        [this](Tick) {
+            bool fetch_exhausted = streamEnded ||
+                                   fetchedInstrs >= maxInstrs_;
+            return fetch_exhausted && rob.empty() &&
+                   fetchQueue.empty();
+        },
+        [&](Tick now) {
+            if (now - last_progress_check > cfg.watchdogPs) {
+                if (committedInstrs == last_progress_instrs)
+                    panic("no commit progress for %llu ps at t=%llu "
+                          "(rob=%zu fq=%zu committed=%llu)",
+                          static_cast<unsigned long long>(
+                              cfg.watchdogPs),
+                          static_cast<unsigned long long>(now),
+                          rob.size(), fetchQueue.size(),
+                          static_cast<unsigned long long>(
+                              committedInstrs));
+                last_progress_check = now;
+                last_progress_instrs = committedInstrs;
             }
-        }
-        now = best_t;
-        clocks[best]->advance();
-        Domain dom = static_cast<Domain>(best);
-        power_.clockCycle(dom, clocks[best]->voltage());
-        chargeLeakage(now);
-
-        if (dom == Domain::FrontEnd)
-            feTick(now);
-        else
-            execTick(dom, now);
-
-        if (now - last_progress_check > cfg.watchdogPs) {
-            if (committedInstrs == last_progress_instrs)
-                panic("no commit progress for %llu ps at t=%llu "
-                      "(rob=%zu fq=%zu committed=%llu)",
-                      static_cast<unsigned long long>(cfg.watchdogPs),
-                      static_cast<unsigned long long>(now),
-                      rob.size(), fetchQueue.size(),
-                      static_cast<unsigned long long>(committedInstrs));
-            last_progress_check = now;
-            last_progress_instrs = committedInstrs;
-        }
-    }
+        });
 
     RunResult r;
-    r.timePs = lastCommitTime ? lastCommitTime : now;
+    r.timePs = lastCommitTime ? lastCommitTime : end;
     r.chipEnergyNj = power_.chipEnergyNj();
     r.dramEnergyNj = power_.dramEnergyNj();
     r.instrs = committedInstrs;
@@ -773,12 +177,12 @@ Processor::run(std::uint64_t max_instrs)
     r.dramAccesses = memory.requests();
     r.reconfigs = reconfigCount;
     r.overheadCycles = overheadCycleCount;
-    for (int d = 0; d < NUM_SCALED_DOMAINS; ++d) {
-        r.avgFreq[static_cast<size_t>(d)] = clocks[d]->averageFreq();
-        r.domainEnergyNj[static_cast<size_t>(d)] =
-            power_.domainEnergyNj(static_cast<Domain>(d));
+    r.ffEdges = kernel.fastForwardedEdges();
+    for (Domain d : scaledDomains()) {
+        r.avgFreq[domainIndex(d)] = clock(d).averageFreq();
+        r.domainEnergyNj[domainIndex(d)] = power_.domainEnergyNj(d);
     }
-    r.domainEnergyNj[static_cast<size_t>(Domain::External)] =
+    r.domainEnergyNj[domainIndex(Domain::External)] =
         power_.dramEnergyNj();
     return r;
 }

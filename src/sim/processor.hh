@@ -11,6 +11,12 @@
  * 4-wide fetch/dispatch, 80-entry ROB, 20/15/64-entry issue queues,
  * 72+72 physical registers, combined bimodal+PAg branch prediction,
  * 64KB 2-way L1s, 1MB direct-mapped L2.
+ *
+ * The Processor itself is a facade: it owns the shared pipeline
+ * state (instruction window, rename resources, caches, power model)
+ * and the public run/control surface, while the per-edge stage logic
+ * lives in the per-domain components (Frontend, ExecDomain) and the
+ * edge scheduling in the Kernel (see sim/kernel.hh).
  */
 
 #ifndef MCD_SIM_PROCESSOR_HH
@@ -19,7 +25,6 @@
 #include <array>
 #include <cstdint>
 #include <deque>
-#include <memory>
 #include <vector>
 
 #include "power/power.hh"
@@ -27,6 +32,9 @@
 #include "sim/cache.hh"
 #include "sim/clock.hh"
 #include "sim/config.hh"
+#include "sim/exec_domain.hh"
+#include "sim/frontend.hh"
+#include "sim/kernel.hh"
 #include "sim/trace.hh"
 #include "workload/program.hh"
 #include "workload/stream.hh"
@@ -81,6 +89,9 @@ class Processor : public DvfsControl
     const SimConfig &config() const { return cfg; }
 
   private:
+    friend class Frontend;
+    friend class ExecDomain;
+
     /** In-flight instruction state. */
     struct Uop
     {
@@ -124,28 +135,18 @@ class Processor : public DvfsControl
         Tick ready = 0;
     };
 
-    // --- per-tick stage logic ---
-    void feTick(Tick now);
-    void fetch(Tick now);
-    void dispatch(Tick now);
-    void commit(Tick now);
-    void execTick(Domain d, Tick now);
-    bool tryIssue(Domain d, Tick now, std::uint64_t seq);
-
+    // --- shared helpers used by the domain components ---
     Uop *findUop(std::uint64_t seq);
     const Uop *findUop(std::uint64_t seq) const;
     /** Operand readiness: ready time as seen from domain @p d. */
     bool operandReady(std::uint64_t producer_seq, Domain d,
                       Tick now) const;
     Tick syncMargin(Domain src, Domain dst) const;
-    DomainClock &clock(Domain d) { return *clocks[static_cast<int>(d)]; }
+    DomainClock &clock(Domain d) { return kernel.clock(d); }
     const DomainClock &clock(Domain d) const
     {
-        return *clocks[static_cast<int>(d)];
+        return kernel.clock(d);
     }
-    void chargeLeakage(Tick now);
-    void applyMarker(const MarkerAction &a, Tick now);
-    bool streamFetchBlocked(Tick now);
 
     // --- configuration ---
     SimConfig cfg;
@@ -153,7 +154,6 @@ class Processor : public DvfsControl
     workload::InputSet input;
 
     // --- components ---
-    std::array<std::unique_ptr<DomainClock>, NUM_SCALED_DOMAINS> clocks;
     power::PowerModel power_;
     Cache l1i;
     Cache l1d;
@@ -161,6 +161,9 @@ class Processor : public DvfsControl
     MainMemory memory;
     BranchPredictor bpred;
     workload::Stream stream;
+    Kernel kernel;
+    Frontend frontend;
+    std::array<ExecDomain, NUM_SCALED_DOMAINS - 1> execDomains;
 
     // --- hooks ---
     MarkerHandler *markerHandler = nullptr;
@@ -202,9 +205,6 @@ class Processor : public DvfsControl
     std::uint64_t fetchedInstrs = 0;
     std::uint64_t nextSeq = 1;
     std::uint64_t maxInstrs_ = 0;
-
-    // leakage bookkeeping
-    Tick lastLeakTime = 0;
 
     // interval accounting
     std::array<double, NUM_SCALED_DOMAINS> occSum{};

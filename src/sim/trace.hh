@@ -149,6 +149,9 @@ struct RunResult
     std::uint64_t dramAccesses = 0;
     std::uint64_t reconfigs = 0;
     std::uint64_t overheadCycles = 0;  ///< instrumentation stalls
+    /** Clock edges the kernel fast-forwarded instead of processing
+     *  (0 when SimConfig::fastForward is off). */
+    std::uint64_t ffEdges = 0;
     FreqSet avgFreq{};
     std::array<double, NUM_DOMAINS> domainEnergyNj{};
     /** Energy * delay product (nJ * ps), convenience. */

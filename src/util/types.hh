@@ -10,6 +10,8 @@
 #ifndef MCD_UTIL_TYPES_HH
 #define MCD_UTIL_TYPES_HH
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace mcd
@@ -58,6 +60,27 @@ enum class Domain : std::uint8_t
 constexpr int NUM_SCALED_DOMAINS = 4;
 /** Number of domains including external memory. */
 constexpr int NUM_DOMAINS = 5;
+
+/** Array index of a domain (domains index per-domain arrays a lot). */
+constexpr std::size_t
+domainIndex(Domain d)
+{
+    return static_cast<std::size_t>(d);
+}
+
+/** The four scaled domains, in index (synchronizer tie-break)
+ *  order, so per-domain loops read `for (Domain d :
+ *  scaledDomains())` instead of casting a raw index back and
+ *  forth. */
+inline constexpr std::array<Domain, NUM_SCALED_DOMAINS>
+    SCALED_DOMAINS{Domain::FrontEnd, Domain::Integer,
+                   Domain::FloatingPoint, Domain::Memory};
+
+constexpr const std::array<Domain, NUM_SCALED_DOMAINS> &
+scaledDomains()
+{
+    return SCALED_DOMAINS;
+}
 
 /** Short human-readable domain name ("fe", "int", "fp", "mem", "ext"). */
 const char *domainName(Domain d);

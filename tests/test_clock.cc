@@ -144,6 +144,83 @@ TEST(SyncMargin, ThirtyPercentOfFasterClock)
               300u);
 }
 
+TEST(DomainClock, JumpToClampedToLegalRange)
+{
+    SimConfig c = cfg();
+    DomainClock clk(c, Domain::Integer, false, Rng(8));
+    clk.jumpTo(10.0);
+    EXPECT_DOUBLE_EQ(clk.freq(), c.minMhz);
+    EXPECT_DOUBLE_EQ(clk.voltage(), c.minVolt);
+    clk.jumpTo(99999.0);
+    EXPECT_DOUBLE_EQ(clk.freq(), c.maxMhz);
+    EXPECT_DOUBLE_EQ(clk.voltage(), c.maxVolt);
+}
+
+TEST(DomainClock, AverageFreqTimeWeightedAcrossRamp)
+{
+    // Dwell at 1 GHz, ramp to 500 MHz, dwell there: the average must
+    // sit strictly between the endpoints and move toward 500 as the
+    // low-frequency dwell grows (time weighting, not edge counting).
+    // A fast ramp keeps the transition negligible next to the dwells
+    // so the two plateaus dominate the closed form below.
+    SimConfig c = cfg();
+    c.rampNsPerMhz = 0.1;
+    DomainClock clk(c, Domain::Integer, false, Rng(9));
+    for (int i = 0; i < 1000; ++i)
+        clk.advance();
+    clk.setTarget(500.0);
+    while (clk.ramping())
+        clk.advance();
+    for (int i = 0; i < 1000; ++i)
+        clk.advance();
+    Mhz mid = clk.averageFreq();
+    EXPECT_GT(mid, 500.0);
+    EXPECT_LT(mid, 1000.0);
+    // 1000 more edges at 500 MHz cover twice the time of the initial
+    // 1000 edges at 1 GHz; the average must keep falling.
+    for (int i = 0; i < 1000; ++i)
+        clk.advance();
+    Mhz later = clk.averageFreq();
+    EXPECT_LT(later, mid);
+    // Closed form ignoring the (short) ramp: the dwell times weight
+    // the two plateaus.  The ramp pulls the true value slightly up.
+    double t_fast = 1000.0 * 1000.0;      // 1000 edges @ 1000 ps
+    double t_slow = 2000.0 * 2000.0;      // 2000 edges @ 2000 ps
+    double plateau_avg =
+        (1000.0 * t_fast + 500.0 * t_slow) / (t_fast + t_slow);
+    EXPECT_NEAR(later, plateau_avg, 25.0);
+    EXPECT_GT(later, plateau_avg);
+}
+
+TEST(DomainClock, FastForwardMatchesStepwiseAdvance)
+{
+    // fastForwardTo must be indistinguishable from stepping
+    // advance() edge by edge: same edge count, same (jittered) next
+    // edge, same average frequency — the determinism argument for
+    // the kernel's idle-edge fast-forward.
+    SimConfig c = cfg();
+    DomainClock stepped(c, Domain::Memory, true, Rng(10));
+    DomainClock jumped(c, Domain::Memory, true, Rng(10));
+    const Tick t = 5'000'500;
+    std::uint64_t n = 0;
+    while (stepped.nextEdge() < t) {
+        stepped.advance();
+        ++n;
+    }
+    EXPECT_EQ(jumped.fastForwardTo(t), n);
+    EXPECT_GT(n, 4900u);
+    EXPECT_EQ(jumped.edges(), stepped.edges());
+    EXPECT_EQ(jumped.nextEdge(), stepped.nextEdge());
+    EXPECT_GE(jumped.nextEdge(), t);  // consumed edges before t only
+    EXPECT_DOUBLE_EQ(jumped.averageFreq(), stepped.averageFreq());
+    // ... and the streams stay aligned afterwards.
+    for (int i = 0; i < 100; ++i) {
+        stepped.advance();
+        jumped.advance();
+        EXPECT_EQ(jumped.nextEdge(), stepped.nextEdge());
+    }
+}
+
 /** Ramp property over a sweep of targets: always converges. */
 class RampSweep : public ::testing::TestWithParam<int>
 {

@@ -190,9 +190,14 @@ TEST(ExpParallel, MismatchedConfigFingerprintMissesCache)
     b.sim.singleClock = true;
     ExpConfig c = smallConfig();
     c.sim.rampNsPerMhz *= 2.0;
+    ExpConfig d = smallConfig();
+    d.sim.fastForward = !d.sim.fastForward;
     EXPECT_EQ(exp::configFingerprint(a), exp::configFingerprint(same));
     EXPECT_NE(exp::configFingerprint(a), exp::configFingerprint(b));
     EXPECT_NE(exp::configFingerprint(a), exp::configFingerprint(c));
+    // Kernel modes agree on timing but not on the last bits of the
+    // energy sums; they must never share cache lines.
+    EXPECT_NE(exp::configFingerprint(a), exp::configFingerprint(d));
 
     // A sentinel outcome stored under config a's key must not be
     // served to a runner configured with b.
