@@ -67,12 +67,13 @@ main(int argc, char **argv)
     TextTable t;
     t.header({"benchmark", "variant", "fe MHz", "int MHz", "fp MHz",
               "mem MHz"});
-    const char *const benches[] = {"mcf", "gsm_decode", "swim"};
+    const std::vector<std::string> benches =
+        workloadsOr(opt, {"mcf", "gsm_decode", "swim"});
     std::vector<std::vector<std::vector<std::string>>> rows(
-        std::size(benches));
-    util::parallelFor(std::size(benches), jobsOf(cfg),
+        benches.size());
+    util::parallelFor(benches.size(), jobsOf(cfg),
                       [&](std::size_t b) {
-        const char *bench = benches[b];
+        const std::string &bench = benches[b];
         workload::Benchmark bm = workload::makeBenchmark(bench);
         auto trace = traceOf(bm, cfg);
 

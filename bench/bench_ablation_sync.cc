@@ -28,13 +28,13 @@ main(int argc, char **argv)
 
     TextTable t;
     t.header({"benchmark", "variant", "penalty %"});
-    const char *const benches[] = {"adpcm_decode", "gsm_decode",
-                                   "mcf"};
+    const std::vector<std::string> benches =
+        workloadsOr(opt, {"adpcm_decode", "gsm_decode", "mcf"});
     std::vector<std::vector<std::vector<std::string>>> rows(
-        std::size(benches));
-    util::parallelFor(std::size(benches), jobsOf(cfg),
+        benches.size());
+    util::parallelFor(benches.size(), jobsOf(cfg),
                       [&](std::size_t b) {
-        const char *bench = benches[b];
+        const std::string &bench = benches[b];
         workload::Benchmark bm = workload::makeBenchmark(bench);
         auto run_with = [&](sim::SimConfig sc) {
             sim::Processor proc(sc, cfg.power, bm.program, bm.ref);

@@ -16,7 +16,7 @@ main(int argc, char **argv)
     if (runPolicyOverride(opt))
         return 0;
     exp::Runner runner(opt.cfg);
-    auto rows = headlineSweep(runner);
+    auto rows = headlineSweep(runner, workloads(opt));
     printHeadlineTable(rows, "Figure 4: performance degradation", "%",
                        &Metrics::slowdownPct);
     return 0;

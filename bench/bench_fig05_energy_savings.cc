@@ -16,7 +16,7 @@ main(int argc, char **argv)
     if (runPolicyOverride(opt))
         return 0;
     exp::Runner runner(opt.cfg);
-    auto rows = headlineSweep(runner);
+    auto rows = headlineSweep(runner, workloads(opt));
     printHeadlineTable(rows, "Figure 5: energy savings", "%",
                        &Metrics::energySavingsPct);
     return 0;

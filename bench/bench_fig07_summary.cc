@@ -32,7 +32,7 @@ main(int argc, char **argv)
         {"L+F", {}, {}, {}},
     };
 
-    const auto &benches = workload::suiteNames();
+    const auto &benches = workloads(opt);
     std::vector<exp::SweepCell> cells;
     for (const auto &bench : benches) {
         cells.push_back(exp::SweepCell::of(bench, HEADLINE_GLOBAL));

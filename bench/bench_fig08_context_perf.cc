@@ -12,11 +12,6 @@
 namespace
 {
 
-const char *const interesting[] = {
-    "mpeg2_decode", "epic_encode", "mpeg2_encode", "adpcm_decode",
-    "adpcm_encode", "gsm_decode", "applu", "art",
-};
-
 const mcd::core::ContextMode modes[] = {
     mcd::core::ContextMode::LFCP, mcd::core::ContextMode::LFP,
     mcd::core::ContextMode::FCP,  mcd::core::ContextMode::FP,
@@ -34,6 +29,11 @@ main(int argc, char **argv)
     if (runPolicyOverride(opt))
         return 0;
     exp::Runner runner(opt.cfg);
+    // The paper highlights these eight; --workload overrides.
+    const std::vector<std::string> benches = workloadsOr(
+        opt, {"mpeg2_decode", "epic_encode", "mpeg2_encode",
+              "adpcm_decode", "adpcm_encode", "gsm_decode", "applu",
+              "art"});
 
     TextTable t;
     std::vector<std::string> head = {"benchmark"};
@@ -41,12 +41,12 @@ main(int argc, char **argv)
         head.push_back(core::contextModeName(m));
     t.header(head);
     std::vector<exp::SweepCell> cells;
-    for (const char *bench : interesting)
+    for (const auto &bench : benches)
         for (auto m : modes)
             cells.push_back(exp::SweepCell::of(bench, modeSpec(m)));
     std::vector<exp::Outcome> out = runner.runSweep(cells);
     std::size_t i = 0;
-    for (const char *bench : interesting) {
+    for (const auto &bench : benches) {
         std::vector<std::string> row = {bench};
         for (std::size_t j = 0; j < std::size(modes); ++j)
             row.push_back(

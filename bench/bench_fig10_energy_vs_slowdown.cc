@@ -21,7 +21,7 @@ main(int argc, char **argv)
     const double d_points[] = {2.0, 4.0, 6.0, 10.0, 14.0, 20.0};
     const double aggr_points[] = {0.25, 0.5, 1.0, 2.0, 3.5, 6.0};
 
-    const auto &benches = workload::suiteNames();
+    const auto &benches = workloads(opt);
     std::vector<exp::SweepCell> cells;
     for (double d : d_points)
         for (const auto &bench : benches)

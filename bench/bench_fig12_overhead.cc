@@ -32,7 +32,7 @@ main(int argc, char **argv)
         Summary reconf, instr, overhead;
     };
     Agg agg[6];
-    const auto &benches = workload::suiteNames();
+    const auto &benches = workloads(opt);
     std::vector<exp::SweepCell> cells;
     for (const auto &bench : benches)
         for (int i = 0; i < 6; ++i)

@@ -25,7 +25,7 @@ main(int argc, char **argv)
     TextTable t;
     t.header({"benchmark", "perf penalty %", "energy penalty %"});
     Summary perf, energy;
-    const auto &benches = workload::suiteNames();
+    const auto &benches = workloads(opt);
     std::vector<double> perf_pct(benches.size());
     std::vector<double> energy_pct(benches.size());
     util::parallelFor(benches.size(), jobsOf(cfg), [&](std::size_t i) {

@@ -31,7 +31,7 @@ main(int argc, char **argv)
               "ref all", "common LR", "common all", "cov LR",
               "cov all"});
 
-    const auto &benches = workload::suiteNames();
+    const auto &benches = workloads(opt);
     std::vector<std::vector<std::string>> rows(benches.size());
     util::parallelFor(benches.size(), jobsOf(cfg), [&](std::size_t i) {
         const std::string &bench = benches[i];

@@ -22,7 +22,7 @@ main(int argc, char **argv)
     TextTable t;
     t.header({"benchmark", "st reconf", "st instr", "dyn reconf",
               "dyn instr", "overhead %", "tables KB"});
-    const auto &benches = workload::suiteNames();
+    const auto &benches = workloads(opt);
     std::vector<exp::SweepCell> cells;
     for (const auto &bench : benches)
         cells.push_back(exp::SweepCell::of(

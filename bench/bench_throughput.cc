@@ -7,7 +7,10 @@
  *
  * Beyond the standard Google Benchmark flags, `--json FILE` writes a
  * machine-readable summary ({name, wall_ms, iterations} per
- * benchmark) for the CI perf-trajectory artifact.
+ * benchmark) for the CI perf-trajectory artifact, and
+ * `--workload SPEC` (any registry spec: suite name, gen:...,
+ * @file) re-points every workload-driven microbenchmark at that
+ * workload instead of its default.
  */
 
 #include <benchmark/benchmark.h>
@@ -19,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hh"
 #include "core/profiler.hh"
 #include "core/shaker.hh"
 #include "exp/experiment.hh"
@@ -31,10 +35,23 @@ using namespace mcd;
 namespace
 {
 
+/** --workload override; empty = each benchmark's default. */
+std::string g_workload_override;
+
+/** The workload a microbenchmark runs: the --workload override when
+ *  given, @p dflt otherwise. */
+workload::Benchmark
+benchFor(const char *dflt)
+{
+    return workload::makeBenchmark(g_workload_override.empty()
+                                       ? dflt
+                                       : g_workload_override);
+}
+
 void
 BM_StreamGeneration(benchmark::State &state)
 {
-    workload::Benchmark bm = workload::makeBenchmark("gsm_decode");
+    workload::Benchmark bm = benchFor("gsm_decode");
     for (auto _ : state) {
         workload::Stream s(bm.program, bm.train);
         workload::StreamItem item;
@@ -51,7 +68,7 @@ BENCHMARK(BM_StreamGeneration)->Unit(benchmark::kMillisecond);
 void
 BM_CycleSimulation(benchmark::State &state)
 {
-    workload::Benchmark bm = workload::makeBenchmark("gsm_decode");
+    workload::Benchmark bm = benchFor("gsm_decode");
     sim::SimConfig scfg;
     power::PowerConfig pcfg;
     for (auto _ : state) {
@@ -70,7 +87,7 @@ BM_CycleSimulationSlowPath(benchmark::State &state)
     // The same run with idle-edge fast-forward disabled: the gap to
     // BM_CycleSimulation is the kernel's win on an integer workload
     // whose FP domain is idle.  Results are identical in both modes.
-    workload::Benchmark bm = workload::makeBenchmark("gsm_decode");
+    workload::Benchmark bm = benchFor("gsm_decode");
     sim::SimConfig scfg;
     scfg.fastForward = false;
     power::PowerConfig pcfg;
@@ -87,7 +104,7 @@ BENCHMARK(BM_CycleSimulationSlowPath)->Unit(benchmark::kMillisecond);
 void
 BM_Profiling(benchmark::State &state)
 {
-    workload::Benchmark bm = workload::makeBenchmark("gzip");
+    workload::Benchmark bm = benchFor("gzip");
     for (auto _ : state) {
         core::ProfileConfig cfg;
         cfg.maxInstrs = 100'000;
@@ -104,7 +121,7 @@ void
 BM_ShakerAnalysis(benchmark::State &state)
 {
     // Build a realistic trace segment once, then time the shaker.
-    workload::Benchmark bm = workload::makeBenchmark("gsm_decode");
+    workload::Benchmark bm = benchFor("gsm_decode");
     sim::SimConfig scfg;
     power::PowerConfig pcfg;
     struct Collect : sim::TraceSink
@@ -240,13 +257,31 @@ class JsonTeeReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char **argv)
 {
-    // Peel off --json FILE before Google Benchmark sees the args (it
-    // hard-errors on flags it does not know).
+    // Peel off --json FILE and --workload SPEC before Google
+    // Benchmark sees the args (it hard-errors on flags it does not
+    // know).
     std::string json_path;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
             json_path = argv[++i];
+            continue;
+        }
+        if (!std::strcmp(argv[i], "--workload")) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "%s: --workload needs a value\n",
+                             argv[0]);
+                return 1;
+            }
+            try {
+                g_workload_override =
+                    bench::resolveWorkloadArg(argv[++i]);
+            } catch (const workload::SpecError &e) {
+                std::fprintf(stderr, "%s: %s\n", argv[0],
+                             e.what());
+                return 1;
+            }
             continue;
         }
         args.push_back(argv[i]);

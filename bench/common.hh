@@ -19,6 +19,14 @@
  *                    binary
  *   --list-policies  print the policy registry (names, parameters,
  *                    defaults) and exit
+ *   --workload SPEC  replace the benchmark set with the given
+ *                    workload specs (repeatable): a suite name
+ *                    ("gzip"), a generator spec
+ *                    ("gen:phases=4,mem=0.4,seed=7"), or an
+ *                    authored program file ("@solver.mcdw", the
+ *                    docs/WORKLOADS.md text format)
+ *   --list-workloads print the workload registry (names,
+ *                    parameters, defaults) and exit
  *   --no-fast-forward  run the simulation kernel without idle-edge
  *                    fast-forward (slower; identical results — the
  *                    CI equivalence gate diffs the two modes)
@@ -45,6 +53,8 @@
 #include "util/logging.hh"
 #include "util/pool.hh"
 #include "util/table.hh"
+#include "workload/author.hh"
+#include "workload/registry.hh"
 #include "workload/suite.hh"
 
 namespace mcd::bench
@@ -84,6 +94,10 @@ struct Options
      *  runs these over the suite instead of its figure (see
      *  runPolicyOverride()). */
     std::vector<control::PolicySpec> policies;
+    /** Canonical workload specs from --workload flags; non-empty =
+     *  they replace the benchmark set of the figure / --policy
+     *  sweep (see workloads()). */
+    std::vector<std::string> workloads;
 };
 
 inline void
@@ -109,6 +123,13 @@ printUsage(const char *argv0, std::FILE *to)
         "                   (the figures themselves use the "
         "headline d=10)\n"
         "  --list-policies  print the policy registry and exit\n"
+        "  --workload SPEC  replace the benchmark set "
+        "(repeatable); SPEC is a suite name, a\n"
+        "                   generator spec like "
+        "gen:phases=4,mem=0.4,seed=7, or @FILE with an\n"
+        "                   authored program (see "
+        "docs/WORKLOADS.md)\n"
+        "  --list-workloads print the workload registry and exit\n"
         "  --no-fast-forward  disable the kernel's idle-edge "
         "fast-forward (identical results, slower)\n"
         "  --help           print this message and exit\n",
@@ -120,6 +141,28 @@ listPolicies()
 {
     std::printf("registered policies:\n%s",
                 control::describePolicies().c_str());
+}
+
+inline void
+listWorkloads()
+{
+    std::printf("registered workloads (spec grammar "
+                "name[:key=value,...]):\n%s",
+                workload::describeWorkloads().c_str());
+}
+
+/** Resolve one --workload argument to its canonical spec string:
+ *  `@FILE` loads and registers the authored program, anything else
+ *  registry-validates.  Throws workload::SpecError — shared by
+ *  parseArgs() and bench_throughput's flag peeler so the two CLIs
+ *  cannot drift. */
+inline std::string
+resolveWorkloadArg(const char *text)
+{
+    if (text[0] == '@')
+        return workload::WorkloadRegistry::instance().addProgram(
+            workload::readProgramFile(text + 1));
+    return workload::canonicalWorkloadSpec(text);
 }
 
 inline Options
@@ -191,10 +234,23 @@ parseArgs(int argc, char **argv)
                 std::exit(1);
             }
             opt.policies.push_back(std::move(spec));
+        } else if (!std::strcmp(argv[i], "--workload")) {
+            // Resolve to the canonical spec up front so a typo or
+            // bad file fails here, with the message, not mid-sweep.
+            try {
+                opt.workloads.push_back(
+                    resolveWorkloadArg(value(i, "--workload")));
+            } catch (const workload::SpecError &e) {
+                std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+                std::exit(1);
+            }
         } else if (!std::strcmp(argv[i], "--no-fast-forward")) {
             cfg.sim.fastForward = false;
         } else if (!std::strcmp(argv[i], "--list-policies")) {
             listPolicies();
+            std::exit(0);
+        } else if (!std::strcmp(argv[i], "--list-workloads")) {
+            listWorkloads();
             std::exit(0);
         } else if (!std::strcmp(argv[i], "--help")) {
             printUsage(argv[0], stdout);
@@ -218,6 +274,27 @@ jobsOf(const exp::ExpConfig &cfg)
     return cfg.jobs ? cfg.jobs : util::ThreadPool::defaultThreads();
 }
 
+/** The benchmark set a binary should sweep: the --workload specs
+ *  when given, the full 19-name suite otherwise. */
+inline const std::vector<std::string> &
+workloads(const Options &opt)
+{
+    return opt.workloads.empty() ? workload::suiteNames()
+                                 : opt.workloads;
+}
+
+/** Like workloads(), for binaries whose figure uses a curated
+ *  subset of the suite (the context figures, the ablations):
+ *  --workload still overrides, the subset is the default. */
+inline std::vector<std::string>
+workloadsOr(const Options &opt,
+            std::initializer_list<const char *> subset)
+{
+    if (!opt.workloads.empty())
+        return opt.workloads;
+    return {subset.begin(), subset.end()};
+}
+
 /**
  * The --policy override shared by every binary: when specs were
  * given on the command line, run them over the whole suite (one
@@ -231,7 +308,7 @@ runPolicyOverride(const Options &opt)
     if (opt.policies.empty())
         return false;
     exp::Runner runner(opt.cfg);
-    const auto &benches = workload::suiteNames();
+    const auto &benches = workloads(opt);
     std::vector<exp::SweepCell> cells;
     for (const auto &bench : benches)
         for (const auto &spec : opt.policies)
@@ -283,14 +360,15 @@ struct HeadlineRow
 
 /**
  * The shared headline sweep behind Figures 4, 5 and 6: off-line,
- * on-line and profile-driven L+F on every benchmark, as one
- * runSweep() batch (results are memoized in the cache, so the three
- * binaries compute it once; the cells run in parallel per --jobs).
+ * on-line and profile-driven L+F on every benchmark of @p benches
+ * (the full suite, or the --workload set), as one runSweep() batch
+ * (results are memoized in the cache, so the three binaries compute
+ * it once; the cells run in parallel per --jobs).
  */
 inline std::vector<HeadlineRow>
-headlineSweep(exp::Runner &runner)
+headlineSweep(exp::Runner &runner,
+              const std::vector<std::string> &benches)
 {
-    const auto &benches = workload::suiteNames();
     std::vector<exp::SweepCell> cells;
     for (const auto &bench : benches) {
         cells.push_back(exp::SweepCell::of(bench, HEADLINE_OFFLINE));

@@ -1,11 +1,14 @@
 /**
  * @file
- * Domain scenario 3: authoring a custom workload and exploring the
- * slowdown-threshold trade-off (the knob behind Figures 10/11).
+ * Domain scenario 3: authoring a custom workload with the spec text
+ * format (docs/WORKLOADS.md) and exploring the slowdown-threshold
+ * trade-off (the knob behind Figures 10/11).
  *
  * The workload is a two-phase scientific kernel: a memory-bound
  * sparse gather phase and an FP-dense stencil phase — exactly the
- * kind of per-phase domain imbalance MCD DVFS exploits.
+ * kind of per-phase domain imbalance MCD DVFS exploits.  The same
+ * text, saved to a file, runs in every bench binary via
+ * `--workload @file`.
  */
 
 #include <cstdio>
@@ -15,47 +18,42 @@
 #include "sim/processor.hh"
 #include "util/stats.hh"
 #include "util/table.hh"
+#include "workload/author.hh"
 
 using namespace mcd;
 
 namespace
 {
 
-workload::Program
-buildSolver()
-{
-    workload::ProgramBuilder b("custom_solver");
+/** The authored program: sections mirror the name: key=value spec
+ *  idiom; mixes are declared once and referenced by id; loops nest
+ *  until the matching `end`.  Unknown keys are hard errors. */
+const char *const solverText = R"(# custom two-phase solver
+program: name=custom_solver, entry=main
 
-    workload::InstructionMix gather;
-    gather.set(workload::InstrClass::Load, 0.34)
-        .set(workload::InstrClass::Store, 0.08)
-        .branches(0.10, 0.05)
-        .mem(12 * 1024 * 1024, 0.2);  // cache-hostile
+input: set=train, seed=7, scale=1.0
+input: set=ref, seed=8, scale=1.4
 
-    workload::InstructionMix stencil;
-    stencil.set(workload::InstrClass::FpAdd, 0.28)
-        .set(workload::InstrClass::FpMul, 0.18)
-        .set(workload::InstrClass::Load, 0.26)
-        .set(workload::InstrClass::Store, 0.08)
-        .branches(0.05, 0.01)
-        .mem(4 * 1024 * 1024, 0.97);  // streaming
+# cache-hostile sparse gather vs. streaming FP stencil
+mix: id=gather, load=0.34, store=0.08, branch=0.10, noise=0.05, ws=12582912, stream=0.2
+mix: id=stencil, fadd=0.28, fmul=0.18, load=0.26, store=0.08, branch=0.05, noise=0.01, ws=4194304, stream=0.97
 
-    workload::MixId g = b.mix(gather);
-    workload::MixId s = b.mix(stencil);
+func: name=gather_phase
+  loop: trips=40, scale=0.6
+    block: mix=gather, n=220
+  end
 
-    b.func("gather_phase");
-    b.loop(40, 0.6, [&] { b.block(g, 220); });
+func: name=stencil_phase
+  loop: trips=36, scale=0.6
+    block: mix=stencil, n=260
+  end
 
-    b.func("stencil_phase");
-    b.loop(36, 0.6, [&] { b.block(s, 260); });
-
-    b.func("main");
-    b.loop(8, 1.0, [&] {
-        b.call("gather_phase");
-        b.call("stencil_phase");
-    });
-    return b.build("main");
-}
+func: name=main
+  loop: trips=8, scale=1.0
+    call: f=gather_phase
+    call: f=stencil_phase
+  end
+)";
 
 } // namespace
 
@@ -63,15 +61,19 @@ int
 main()
 {
     const std::uint64_t window = 150'000;
-    workload::Program program = buildSolver();
-    workload::InputSet train{"train", 7, 1.0, {}};
-    workload::InputSet ref{"ref", 8, 1.4, {}};
+    workload::Benchmark bm;
+    try {
+        bm = workload::parseProgram(solverText);
+    } catch (const workload::SpecError &e) {
+        std::fprintf(stderr, "custom_workload: %s\n", e.what());
+        return 1;
+    }
 
     sim::SimConfig scfg;
     scfg.rampNsPerMhz = 2.2;
     power::PowerConfig pcfg;
 
-    sim::Processor base(scfg, pcfg, program, ref);
+    sim::Processor base(scfg, pcfg, bm.program, bm.ref);
     sim::RunResult base_run = base.run(window);
 
     TextTable t;
@@ -81,9 +83,10 @@ main()
         core::PipelineConfig pc;
         pc.mode = core::ContextMode::LF;
         pc.slowdownPct = d;
-        core::ProfilePipeline pipe(program, pc);
-        pipe.train(train, scfg, pcfg);
-        sim::RunResult r = pipe.runProduction(ref, scfg, pcfg, window);
+        core::ProfilePipeline pipe(bm.program, pc);
+        pipe.train(bm.train, scfg, pcfg);
+        sim::RunResult r =
+            pipe.runProduction(bm.ref, scfg, pcfg, window);
         Metrics m = computeMetrics(static_cast<double>(r.timePs),
                                    r.chipEnergyNj,
                                    static_cast<double>(base_run.timePs),
@@ -96,10 +99,15 @@ main()
                TextTable::num(r.avgFreq[2], 0),
                TextTable::num(r.avgFreq[3], 0)});
     }
-    std::printf("custom two-phase solver: slowdown-threshold sweep "
-                "(profile-driven L+F)\n");
+    std::printf("custom two-phase solver (authored spec text): "
+                "slowdown-threshold sweep (profile-driven L+F)\n");
     std::ostringstream os;
     t.print(os);
     std::fputs(os.str().c_str(), stdout);
+
+    // Round-trip proof: the canonical text is what the registry
+    // content-addresses (prog:name=...,hash=...) for cache keys.
+    std::printf("\ncanonical form (printProgram):\n%s",
+                workload::printProgram(bm).c_str());
     return 0;
 }

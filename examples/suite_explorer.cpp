@@ -1,16 +1,16 @@
 /**
  * @file
- * Command-line explorer for the benchmark suite: run any benchmark
- * under any registered control policy and print the paper's metrics.
- * Policies are addressed by spec strings — the same grammar as the
- * bench binaries' `--policy` flag.
+ * Command-line explorer for the open workload/policy registries: run
+ * any workload spec under any registered control policy and print
+ * the paper's metrics.  Both sides use the spec-string grammar of
+ * the bench binaries' `--workload` and `--policy` flags.
  *
  * Usage:
- *   suite_explorer                        # list benchmarks/policies
- *   suite_explorer <bench>                # every registered policy
- *   suite_explorer <bench> <spec>...      # the given specs, e.g.
+ *   suite_explorer                        # list workloads/policies
+ *   suite_explorer <workload>             # every registered policy
+ *   suite_explorer <workload> <spec>...   # the given specs, e.g.
  *       suite_explorer gsm_decode profile:mode=LFCP,d=5 global
- *       suite_explorer mcf online:aggr=1.5 hybrid:guard=0.05
+ *       suite_explorer gen:phases=6,mem=0.7,seed=3 online:aggr=1.5
  */
 
 #include <cstdio>
@@ -21,7 +21,7 @@
 #include "control/policy.hh"
 #include "exp/experiment.hh"
 #include "util/table.hh"
-#include "workload/suite.hh"
+#include "workload/registry.hh"
 
 using namespace mcd;
 
@@ -43,20 +43,21 @@ int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::printf("benchmarks:\n");
-        for (const auto &n : workload::suiteNames())
-            std::printf("  %s\n", n.c_str());
-        std::printf("\npolicies (spec grammar "
+        std::printf("workloads (spec grammar "
                     "name[:key=value,...]):\n%s",
+                    workload::describeWorkloads().c_str());
+        std::printf("\npolicies (same grammar):\n%s",
                     control::describePolicies().c_str());
-        std::printf("\nusage: %s <bench> [policy-spec ...]\n",
+        std::printf("\nusage: %s <workload-spec> "
+                    "[policy-spec ...]\n",
                     argv[0]);
         return 0;
     }
-    std::string bench = argv[1];
-    if (!workload::isSuiteBenchmark(bench)) {
-        std::fprintf(stderr, "unknown benchmark '%s'\n",
-                     bench.c_str());
+    std::string bench;
+    try {
+        bench = workload::canonicalWorkloadSpec(argv[1]);
+    } catch (const workload::SpecError &e) {
+        std::fprintf(stderr, "%s\n", e.what());
         return 1;
     }
 

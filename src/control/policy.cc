@@ -19,40 +19,6 @@ namespace mcd::control
 // Formatting / parsing helpers                                     //
 // ---------------------------------------------------------------- //
 
-std::string
-fmtFixed(double v, int prec)
-{
-    // The classic C locale guarantees '.' decimal points no matter
-    // what the embedding application did with setlocale().
-    std::ostringstream os;
-    os.imbue(std::locale::classic());
-    os.setf(std::ios::fixed);
-    os.precision(prec);
-    os << v;
-    return os.str();
-}
-
-bool
-parseDouble(const std::string &text, double &v)
-{
-    if (text.empty())
-        return false;
-#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
-    const char *first = text.data();
-    const char *last = first + text.size();
-    auto [ptr, ec] = std::from_chars(first, last, v);
-    return ec == std::errc() && ptr == last;
-#else
-    // Fallback for standard libraries without floating-point
-    // from_chars (libc++ < 20): classic-locale stream extraction,
-    // rejecting partial consumption and leading whitespace.
-    std::istringstream is(text);
-    is.imbue(std::locale::classic());
-    is >> std::noskipws >> v;
-    return !is.fail() && is.eof();
-#endif
-}
-
 const char *
 compactModeName(core::ContextMode m)
 {
@@ -215,64 +181,15 @@ PolicySpec::mode(const std::string &key) const
     return p->mode;
 }
 
-namespace
-{
-
-bool
-validName(const std::string &s)
-{
-    if (s.empty())
-        return false;
-    for (char c : s) {
-        bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
-                  c == '_' || c == '-';
-        if (!ok)
-            return false;
-    }
-    return true;
-}
-
-} // namespace
-
 bool
 parseSpec(const std::string &text, PolicySpec &out, std::string &err)
 {
     out = PolicySpec();
-    std::size_t colon = text.find(':');
-    out.policy = text.substr(0, colon);
-    if (!validName(out.policy)) {
-        err = "bad policy spec '" + text +
-              "': expected name[:key=value,...] with a " +
-              "[a-z0-9_-]+ name";
+    std::vector<std::pair<std::string, std::string>> kvs;
+    if (!util::splitSpec(text, "policy spec", out.policy, kvs, err))
         return false;
-    }
-    if (colon == std::string::npos)
-        return true;
-    std::string rest = text.substr(colon + 1);
-    std::size_t start = 0;
-    for (;;) {
-        std::size_t comma = rest.find(',', start);
-        std::string item = rest.substr(
-            start, comma == std::string::npos ? std::string::npos
-                                              : comma - start);
-        std::size_t eq = item.find('=');
-        if (eq == std::string::npos || eq == 0 ||
-            eq + 1 >= item.size()) {
-            err = "bad policy spec '" + text + "': parameter '" +
-                  item + "' is not of the form key=value";
-            return false;
-        }
-        std::string key = item.substr(0, eq);
-        if (out.find(key)) {
-            err = "bad policy spec '" + text + "': parameter '" +
-                  key + "' given twice";
-            return false;
-        }
-        out.set(key, item.substr(eq + 1));
-        if (comma == std::string::npos)
-            break;
-        start = comma + 1;
-    }
+    for (auto &kv : kvs)
+        out.set(kv.first, kv.second);
     return true;
 }
 
@@ -319,7 +236,7 @@ PolicyRegistry::add(std::unique_ptr<const Policy> p)
     Impl &i = impl();
     std::lock_guard<std::mutex> l(i.m);
     std::string name = p->name();
-    if (!validName(name))
+    if (!util::validSpecName(name))
         panic("policy name '%s' is not [a-z0-9_-]+", name.c_str());
     if (!i.policies.emplace(name, std::move(p)).second)
         panic("duplicate policy registration '%s'", name.c_str());

@@ -38,6 +38,7 @@
 #include "power/power.hh"
 #include "sim/config.hh"
 #include "util/stats.hh"
+#include "util/text.hh"
 
 namespace mcd::control
 {
@@ -295,12 +296,12 @@ struct PolicyRegistrar
  */
 std::string describePolicies();
 
-/** Locale-independent fixed-point decimal (the canonical format of
- *  Double spec parameters and of cache-key numbers). */
-std::string fmtFixed(double v, int prec);
-
-/** Strict, locale-independent full-string double parse. */
-bool parseDouble(const std::string &text, double &v);
+/** Locale-independent fixed-point decimal and strict double parse —
+ *  the shared spec-text primitives live in util/text.hh (the
+ *  workload spec grammar uses the same ones); re-exported here for
+ *  the pre-existing control:: spelling. */
+using util::fmtFixed;
+using util::parseDouble;
 
 /** Parse a context mode from its compact ("LFCP"), printable
  *  ("L+F+C+P") or lower-case form.  Returns false on no match. */

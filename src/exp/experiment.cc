@@ -10,6 +10,7 @@
 
 #include "util/logging.hh"
 #include "util/pool.hh"
+#include "workload/registry.hh"
 
 namespace mcd::exp
 {
@@ -22,8 +23,13 @@ namespace
  *  string (policy:key=value,...) instead of per-policy ad-hoc
  *  fragments.  v4: SimConfig::fastForward joined the fingerprint
  *  (energy totals differ between kernel modes in their last bits,
- *  so outcomes from the two modes must never share a cache line). */
-constexpr int CACHE_VERSION = 4;
+ *  so outcomes from the two modes must never share a cache line).
+ *  v5: the bench field is the canonical WorkloadSpec string from
+ *  WorkloadRegistry::canonicalize() — bare suite names are
+ *  unchanged, but generated (`gen:...`) and authored (`prog:...`)
+ *  workloads now cache under a canonical, parameter-complete
+ *  identity.  (History table: docs/ARCHITECTURE.md, layer 7.) */
+constexpr int CACHE_VERSION = 5;
 
 /** Numeric payload fields per cache line (after the key). */
 constexpr std::size_t NUM_LINE_FIELDS = 11;
@@ -363,6 +369,7 @@ std::string
 Runner::resolve(const std::string &bench,
                 const control::PolicySpec &spec,
                 control::PolicySpec &canon,
+                std::string &canonBench,
                 const control::Policy *&policy) const
 {
     const control::PolicyRegistry &reg =
@@ -372,8 +379,16 @@ Runner::resolve(const std::string &bench,
     if (!reg.canonicalize(canon, err))
         fatal("%s", err.c_str());
     policy = reg.find(canon.policy);
-    return keyPrefix() + '|' + canon.str() + '|' + bench + '|' +
-           policy->contextKey(ctx);
+    // The bench field of the key is the *canonical* workload spec:
+    // `gen:seed=7,phases=4` and `gen:phases=4,seed=7` are one cell.
+    // A bad spec throws workload::SpecError here — before anything
+    // is simulated or memoized — and stays catchable, unlike policy
+    // errors (the policy side of a cell is always built from
+    // validated CLI/figure specs; workloads can arrive from cache
+    // keys and user files).
+    canonBench = workload::canonicalWorkloadSpec(bench);
+    return keyPrefix() + '|' + canon.str() + '|' + canonBench +
+           '|' + policy->contextKey(ctx);
 }
 
 std::string
@@ -381,8 +396,9 @@ Runner::cacheKey(const std::string &bench,
                  const control::PolicySpec &spec) const
 {
     control::PolicySpec canon;
+    std::string canonBench;
     const control::Policy *policy = nullptr;
-    return resolve(bench, spec, canon, policy);
+    return resolve(bench, spec, canon, canonBench, policy);
 }
 
 void
@@ -503,15 +519,18 @@ Runner::run(const std::string &bench,
             const control::PolicySpec &spec)
 {
     control::PolicySpec canon;
+    std::string canonBench;
     const control::Policy *policy = nullptr;
-    std::string key = resolve(bench, spec, canon, policy);
+    std::string key = resolve(bench, spec, canon, canonBench, policy);
+    // Policies see the canonical bench spec, so their own
+    // makeBenchmark()/evaluate() calls resolve to the same cells.
     Outcome o = memoize(
-        key, [&] { return policy->run(bench, canon, ctx); });
+        key, [&] { return policy->run(canonBench, canon, ctx); });
     // Metrics are intentionally outside the memo: they derive from
     // two cached raw outcomes and stay correct however either one
     // got here.
     if (policy->relativeToBaseline())
-        o.metrics = vsBaseline(bench, o);
+        o.metrics = vsBaseline(canonBench, o);
     return o;
 }
 

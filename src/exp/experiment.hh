@@ -8,9 +8,13 @@
  * (always relative to the MCD baseline, Section 4.1).
  *
  * Policies are addressed by `control::PolicySpec` strings
- * (`profile:mode=LF,d=10`, `online:aggr=1.5`, `global`); the
- * canonical spec form is the single source of truth for memo/CSV
- * cache keys, CLI selection and sweep construction.
+ * (`profile:mode=LF,d=10`, `online:aggr=1.5`, `global`); benchmarks
+ * by `workload::WorkloadSpec` strings — a suite name (`gzip`), a
+ * generator spec (`gen:phases=4,mem=0.4,seed=7`) or an
+ * authored-program handle (`prog:name=...,hash=...`), resolved
+ * through the `WorkloadRegistry`.  The canonical form of both specs
+ * is the single source of truth for memo/CSV cache keys, CLI
+ * selection and sweep construction.
  *
  * The harness is a parallel sweep engine: every {benchmark, spec}
  * cell of a figure is an independent job, and Runner::runSweep()
@@ -103,6 +107,7 @@ using Outcome = control::Outcome;
  */
 struct SweepCell
 {
+    /** Any workload spec (suite name, `gen:...`, `prog:...`). */
     std::string bench;
     control::PolicySpec spec;
 
@@ -192,9 +197,13 @@ class Runner
 
     /**
      * The memo/CSV cache key of a canonical spec on this runner:
-     * `v<CACHE_VERSION>|c<fingerprint>|<canonical spec>|<bench>|
-     * <policy context key>`.  Exposed so tests can pin key
-     * stability; fatal on a non-canonicalizable spec.
+     * `v<CACHE_VERSION>|c<fingerprint>|<canonical policy spec>|
+     * <canonical workload spec>|<policy context key>`.  The bench
+     * field is canonicalized through the WorkloadRegistry, so
+     * parameter order/formatting of a `gen:...` or `prog:...` spec
+     * never splits a cell.  Exposed so tests can pin key stability;
+     * fatal on a non-canonicalizable policy spec, throws
+     * workload::SpecError on a bad workload spec.
      */
     std::string cacheKey(const std::string &bench,
                          const control::PolicySpec &spec) const;
@@ -215,12 +224,14 @@ class Runner
     static constexpr std::size_t NUM_SHARDS = 16;
 
     Shard &shardFor(const std::string &key);
-    /** Canonicalize @p spec (fatal on error), resolve its policy and
-     *  build the memo/CSV key — the single definition of the key
-     *  layout, shared by run() and cacheKey(). */
+    /** Canonicalize @p spec (fatal on error) and @p bench (throws
+     *  workload::SpecError), resolve the policy and build the
+     *  memo/CSV key — the single definition of the key layout,
+     *  shared by run() and cacheKey(). */
     std::string resolve(const std::string &bench,
                         const control::PolicySpec &spec,
                         control::PolicySpec &canon,
+                        std::string &canonBench,
                         const control::Policy *&policy) const;
     Outcome memoize(const std::string &key,
                     const std::function<Outcome()> &compute);

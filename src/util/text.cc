@@ -1,0 +1,131 @@
+#include "util/text.hh"
+
+#include <charconv>
+#include <locale>
+#include <sstream>
+
+namespace mcd::util
+{
+
+std::string
+fmtFixed(double v, int prec)
+{
+    // The classic C locale guarantees '.' decimal points no matter
+    // what the embedding application did with setlocale().
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os.setf(std::ios::fixed);
+    os.precision(prec);
+    os << v;
+    return os.str();
+}
+
+bool
+parseDouble(const std::string &text, double &v)
+{
+    if (text.empty())
+        return false;
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+    const char *first = text.data();
+    const char *last = first + text.size();
+    auto [ptr, ec] = std::from_chars(first, last, v);
+    return ec == std::errc() && ptr == last;
+#else
+    // Fallback for standard libraries without floating-point
+    // from_chars (libc++ < 20): classic-locale stream extraction,
+    // rejecting partial consumption and leading whitespace.
+    std::istringstream is(text);
+    is.imbue(std::locale::classic());
+    is >> std::noskipws >> v;
+    return !is.fail() && is.eof();
+#endif
+}
+
+bool
+validSpecName(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_' || c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+bool
+validSpecValue(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                  c == '-';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+fnv1a64(const std::string &bytes)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char b : bytes)
+        h = (h ^ b) * 1099511628211ULL;
+    return h;
+}
+
+bool
+splitSpec(const std::string &text, const char *what,
+          std::string &name,
+          std::vector<std::pair<std::string, std::string>> &kvs,
+          std::string &err)
+{
+    name.clear();
+    kvs.clear();
+    std::size_t colon = text.find(':');
+    name = text.substr(0, colon);
+    if (!validSpecName(name)) {
+        err = "bad " + std::string(what) + " '" + text +
+              "': expected name[:key=value,...] with a " +
+              "[a-z0-9_-]+ name";
+        return false;
+    }
+    if (colon == std::string::npos)
+        return true;
+    std::string rest = text.substr(colon + 1);
+    std::size_t start = 0;
+    for (;;) {
+        std::size_t comma = rest.find(',', start);
+        std::string item = rest.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 >= item.size()) {
+            err = "bad " + std::string(what) + " '" + text +
+                  "': parameter '" + item +
+                  "' is not of the form key=value";
+            return false;
+        }
+        std::string key = item.substr(0, eq);
+        for (const auto &kv : kvs) {
+            if (kv.first == key) {
+                err = "bad " + std::string(what) + " '" + text +
+                      "': parameter '" + key + "' given twice";
+                return false;
+            }
+        }
+        kvs.emplace_back(std::move(key), item.substr(eq + 1));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return true;
+}
+
+} // namespace mcd::util

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Locale-independent text primitives shared by every spec grammar in
+ * the tree (`control::PolicySpec`, `workload::WorkloadSpec`, the
+ * workload authoring format): canonical fixed-point formatting,
+ * strict double parsing, the `[a-z0-9_-]+` name rule, and the FNV-1a
+ * hash used for content-addressed cache-key fragments.
+ */
+
+#ifndef MCD_UTIL_TEXT_HH
+#define MCD_UTIL_TEXT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcd::util
+{
+
+/** Locale-independent fixed-point decimal (the canonical format of
+ *  numeric spec parameters and of cache-key numbers). */
+std::string fmtFixed(double v, int prec);
+
+/** Strict, locale-independent full-string double parse. */
+bool parseDouble(const std::string &text, double &v);
+
+/** True iff @p s is a non-empty [a-z0-9_-]+ spec name. */
+bool validSpecName(const std::string &s);
+
+/** True iff @p s is a non-empty [A-Za-z0-9_.-]+ string value (the
+ *  charset spec string parameters may take: it excludes the
+ *  grammar's own separators ':', ',', '=' and whitespace). */
+bool validSpecValue(const std::string &s);
+
+/** 64-bit FNV-1a over a byte string. */
+std::uint64_t fnv1a64(const std::string &bytes);
+
+/**
+ * Split `name[:key=value[,key=value...]]` into @p name and @p kvs —
+ * the one definition of the spec grammar's surface syntax, shared
+ * by `control::parseSpec` and `workload::parseWorkloadSpec`
+ * (semantic validation stays with the registries).  On failure
+ * returns false and sets @p err to a message prefixed
+ * "bad <what> '<text>':", where @p what names the grammar
+ * ("policy spec", "workload spec").  Rejects non-validSpecName()
+ * names, malformed key=value items, and duplicate keys.
+ */
+bool splitSpec(const std::string &text, const char *what,
+               std::string &name,
+               std::vector<std::pair<std::string, std::string>> &kvs,
+               std::string &err);
+
+} // namespace mcd::util
+
+#endif // MCD_UTIL_TEXT_HH

@@ -288,15 +288,12 @@ layoutStmts(Program &prog, std::vector<Stmt> &stmts, std::uint64_t &pc,
 
 } // namespace
 
-Program
-ProgramBuilder::build(const std::string &entry_name,
-                      std::uint64_t layout_seed)
+void
+finalizeLayout(Program &prog, std::uint64_t layout_seed)
 {
-    const Function *entry = prog.findFunction(entry_name);
-    if (!entry)
-        fatal("entry function '%s' not defined", entry_name.c_str());
-    prog.entry = entry->id;
-
+    prog.layoutSeed = layout_seed;
+    prog.numLoops = 0;
+    prog.numCallSites = 0;
     std::uint64_t pc = 0x10000;
     for (auto &f : prog.functions) {
         pc = (pc + 63) & ~63ULL;  // align functions to cache lines
@@ -305,6 +302,17 @@ ProgramBuilder::build(const std::string &entry_name,
         f.retPc = pc;
         pc += 4;
     }
+}
+
+Program
+ProgramBuilder::build(const std::string &entry_name,
+                      std::uint64_t layout_seed)
+{
+    const Function *entry = prog.findFunction(entry_name);
+    if (!entry)
+        fatal("entry function '%s' not defined", entry_name.c_str());
+    prog.entry = entry->id;
+    finalizeLayout(prog, layout_seed);
     return std::move(prog);
 }
 

@@ -164,6 +164,9 @@ struct Program
     std::uint16_t entry = 0;
     std::uint16_t numLoops = 0;
     std::uint16_t numCallSites = 0;
+    /** Seed the static block layouts were materialized from; kept so
+     *  the authoring format can round-trip a program exactly. */
+    std::uint64_t layoutSeed = 0;
 
     const Function &function(std::uint16_t id) const;
     const Function *findFunction(const std::string &name) const;
@@ -247,6 +250,16 @@ class ProgramBuilder
     std::vector<std::vector<Stmt> *> listStack;
     int currentFunc = -1;
 };
+
+/**
+ * Finalize a hand-assembled program in place: assign block/loop/call
+ * ids and pcs and materialize the static block layouts from
+ * @p layout_seed (deterministic: the same structure and seed always
+ * yield identical layouts).  `ProgramBuilder::build()` and the
+ * authoring-format parser share this single definition.
+ * @pre entry and mix indices are valid; blockLayouts is empty.
+ */
+void finalizeLayout(Program &prog, std::uint64_t layout_seed);
 
 } // namespace mcd::workload
 

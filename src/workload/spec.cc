@@ -1,0 +1,140 @@
+#include "workload/spec.hh"
+
+#include "util/text.hh"
+
+namespace mcd::workload
+{
+
+SpecParamInfo
+SpecParamInfo::num(std::string name, double def, std::string help,
+                   double min, double max)
+{
+    SpecParamInfo p;
+    p.name = std::move(name);
+    p.type = SpecParamType::Num;
+    p.defaultNum = def;
+    p.help = std::move(help);
+    p.minNum = min;
+    p.maxNum = max;
+    return p;
+}
+
+SpecParamInfo
+SpecParamInfo::integerNum(std::string name, double def,
+                          std::string help, double min, double max)
+{
+    SpecParamInfo p = num(std::move(name), def, std::move(help), min,
+                          max);
+    p.integer = true;
+    return p;
+}
+
+SpecParamInfo
+SpecParamInfo::str(std::string name, std::string def,
+                   std::string help)
+{
+    SpecParamInfo p;
+    p.name = std::move(name);
+    p.type = SpecParamType::Str;
+    p.defaultStr = std::move(def);
+    p.help = std::move(help);
+    return p;
+}
+
+WorkloadSpec
+WorkloadSpec::of(std::string workload_name)
+{
+    WorkloadSpec s;
+    s.name = std::move(workload_name);
+    return s;
+}
+
+WorkloadSpec &
+WorkloadSpec::set(const std::string &key, const std::string &value)
+{
+    auto assign = [&](Param &p) {
+        p.text = value;
+        // Keep the typed mirror in sync (best effort before
+        // canonicalization pins it) so a set() on an already
+        // canonical spec cannot leave num() returning a stale
+        // previous value.
+        p.num = 0.0;
+        util::parseDouble(value, p.num);
+    };
+    for (Param &p : params) {
+        if (p.name == key) {
+            assign(p);
+            return *this;
+        }
+    }
+    Param p;
+    p.name = key;
+    assign(p);
+    params.push_back(std::move(p));
+    return *this;
+}
+
+WorkloadSpec &
+WorkloadSpec::set(const std::string &key, double value)
+{
+    return set(key, util::fmtFixed(value, 3));
+}
+
+std::string
+WorkloadSpec::str() const
+{
+    std::string s = name;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        s += i == 0 ? ':' : ',';
+        s += params[i].name;
+        s += '=';
+        s += params[i].text;
+    }
+    return s;
+}
+
+const WorkloadSpec::Param *
+WorkloadSpec::find(const std::string &key) const
+{
+    for (const Param &p : params)
+        if (p.name == key)
+            return &p;
+    return nullptr;
+}
+
+double
+WorkloadSpec::num(const std::string &key) const
+{
+    const Param *p = find(key);
+    if (!p)
+        throw SpecError("workload spec '" + str() +
+                        "' has no parameter '" + key +
+                        "' (not canonical?)");
+    return p->num;
+}
+
+const std::string &
+WorkloadSpec::text(const std::string &key) const
+{
+    const Param *p = find(key);
+    if (!p)
+        throw SpecError("workload spec '" + str() +
+                        "' has no parameter '" + key +
+                        "' (not canonical?)");
+    return p->text;
+}
+
+bool
+parseWorkloadSpec(const std::string &text, WorkloadSpec &out,
+                  std::string &err)
+{
+    out = WorkloadSpec();
+    std::vector<std::pair<std::string, std::string>> kvs;
+    if (!util::splitSpec(text, "workload spec", out.name, kvs, err))
+        return false;
+    for (auto &kv : kvs)
+        out.set(kv.first, kv.second);
+    return true;
+}
+
+} // namespace mcd::workload

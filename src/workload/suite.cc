@@ -1,6 +1,7 @@
 #include "workload/suite.hh"
 
 #include "util/logging.hh"
+#include "workload/registry.hh"
 
 namespace mcd::workload
 {
@@ -856,6 +857,19 @@ isSuiteBenchmark(const std::string &name)
 Benchmark
 makeBenchmark(const std::string &name)
 {
+    // Route through the registry so a suite name, a generator spec
+    // and an authored-program handle all resolve — and fail — the
+    // same way: an unknown name is a catchable SpecError listing
+    // every registered workload, not a fatal().
+    return makeWorkload(name);
+}
+
+namespace detail
+{
+
+Benchmark
+buildSuiteBenchmark(const std::string &name)
+{
     if (name == "adpcm_decode") return makeAdpcm(false);
     if (name == "adpcm_encode") return makeAdpcm(true);
     if (name == "epic_decode") return makeEpicDecode();
@@ -875,7 +889,72 @@ makeBenchmark(const std::string &name)
     if (name == "applu") return makeApplu();
     if (name == "art") return makeArt();
     if (name == "equake") return makeEquake();
-    fatal("unknown benchmark '%s'", name.c_str());
+    panic("'%s' is not a suite benchmark", name.c_str());
 }
+
+const char *
+suiteDescription(const std::string &name)
+{
+    if (name == "adpcm_decode")
+        return "MediaBench adpcm decode: tiny-footprint integer "
+               "DSP sample loop";
+    if (name == "adpcm_encode")
+        return "MediaBench adpcm encode: tiny-footprint integer "
+               "DSP sample loop";
+    if (name == "epic_decode")
+        return "MediaBench epic decode: FP pyramid reconstruction "
+               "+ integer write-out";
+    if (name == "epic_encode")
+        return "MediaBench epic encode: internal_filter from six "
+               "call sites (context-sensitive)";
+    if (name == "g721_decode")
+        return "MediaBench g721 decode: one dominant "
+               "predictor-update kernel";
+    if (name == "g721_encode")
+        return "MediaBench g721 encode: one dominant "
+               "predictor-update kernel";
+    if (name == "gsm_decode")
+        return "MediaBench gsm decode: per-frame LPC/LTP filter "
+               "phases";
+    if (name == "gsm_encode")
+        return "MediaBench gsm encode: per-frame LPC/LTP filter "
+               "phases";
+    if (name == "jpeg_compress")
+        return "MediaBench jpeg compress: DCT/quantize/entropy "
+               "block pipeline";
+    if (name == "jpeg_decompress")
+        return "MediaBench jpeg decompress: entropy/dequantize/IDCT "
+               "block pipeline";
+    if (name == "mpeg2_decode")
+        return "MediaBench mpeg2 decode: B-frame paths unseen "
+               "during training";
+    if (name == "mpeg2_encode")
+        return "MediaBench mpeg2 encode: motion-estimation loop "
+               "nests dominate";
+    if (name == "gzip")
+        return "SPEC gzip: deflate with longest_match search, rare "
+               "side paths";
+    if (name == "vpr")
+        return "SPEC vpr: training places, reference routes "
+               "(coverage ~0.1)";
+    if (name == "mcf")
+        return "SPEC mcf: pointer-chasing network simplex, memory "
+               "bound";
+    if (name == "swim")
+        return "SPEC swim: FP shallow-water stencils, "
+               "grid-dependent node set";
+    if (name == "applu")
+        return "SPEC applu: SSOR solver, multiple loop nests per "
+               "subroutine";
+    if (name == "art")
+        return "SPEC art: neural-net matching, one loop with seven "
+               "sub-loops";
+    if (name == "equake")
+        return "SPEC equake: sparse matrix-vector product, stable "
+               "call tree";
+    panic("'%s' is not a suite benchmark", name.c_str());
+}
+
+} // namespace detail
 
 } // namespace mcd::workload

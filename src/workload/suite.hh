@@ -33,11 +33,31 @@ struct Benchmark
 /** Names of all 19 benchmarks, in the paper's order. */
 const std::vector<std::string> &suiteNames();
 
-/** Construct a benchmark by name. Fatal on unknown name. */
+/**
+ * Construct a benchmark from any workload spec — a suite name, a
+ * `gen:...` generator spec, or a `prog:...` authored-program handle
+ * (this is a compatibility alias for `workload::makeWorkload()`;
+ * see workload/registry.hh).  Unknown names and malformed specs
+ * throw a catchable `workload::SpecError` whose message lists every
+ * registered workload.
+ */
 Benchmark makeBenchmark(const std::string &name);
 
 /** True if @p name is one of the suite benchmarks. */
 bool isSuiteBenchmark(const std::string &name);
+
+namespace detail
+{
+/** The raw suite constructors, bypassing the registry; @p name must
+ *  be a suiteNames() entry (panics otherwise).  Only the suite's
+ *  registry factories should call this — everything else goes
+ *  through makeBenchmark()/makeWorkload(). */
+Benchmark buildSuiteBenchmark(const std::string &name);
+
+/** One-line description of a suite benchmark for
+ *  `--list-workloads`. */
+const char *suiteDescription(const std::string &name);
+} // namespace detail
 
 } // namespace mcd::workload
 

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Registers the seeded procedural workload generator as the `gen`
+ * workload family: `--workload gen:phases=4,mem=0.4,seed=7` (and the
+ * same spec in sweep cells / cache keys) samples a phase-structured
+ * program from workload/generate.cc.
+ */
+
+#include "workload/generate.hh"
+#include "workload/registry.hh"
+
+namespace mcd::workload
+{
+namespace
+{
+
+class GenWorkload final : public WorkloadFactory
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "gen";
+    }
+
+    const char *
+    description() const override
+    {
+        return "seeded procedural generator: phase structure, "
+               "domain imbalance, train/ref divergence";
+    }
+
+    std::vector<SpecParamInfo>
+    params() const override
+    {
+        return generatorParams();
+    }
+
+    Benchmark
+    make(const WorkloadSpec &spec) const override
+    {
+        return generate(spec);
+    }
+};
+
+MCD_REGISTER_WORKLOAD(GenWorkload);
+
+} // namespace
+} // namespace mcd::workload

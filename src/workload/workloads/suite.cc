@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Registers the 19 suite benchmarks (the Table 2 MediaBench/SPEC
+ * stand-ins built in workload/suite.cc) with the WorkloadRegistry,
+ * one parameterless factory per name, so a bare suite name is a
+ * valid workload spec everywhere (`--workload gzip`, sweep cells,
+ * cache keys).
+ */
+
+#include "workload/registry.hh"
+
+namespace mcd::workload
+{
+namespace
+{
+
+class SuiteWorkload final : public WorkloadFactory
+{
+  public:
+    explicit SuiteWorkload(std::string name) : nm(std::move(name))
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return nm.c_str();
+    }
+
+    const char *
+    description() const override
+    {
+        return detail::suiteDescription(nm);
+    }
+
+    Benchmark
+    make(const WorkloadSpec &) const override
+    {
+        return detail::buildSuiteBenchmark(nm);
+    }
+
+  private:
+    std::string nm;
+};
+
+/** One registrar covering the whole suite (the per-class
+ *  MCD_REGISTER_WORKLOAD macro registers one factory; the suite is
+ *  a family of 19 sharing one implementation). */
+struct SuiteRegistrar
+{
+    SuiteRegistrar()
+    {
+        for (const std::string &name : suiteNames())
+            WorkloadRegistry::instance().add(
+                std::make_unique<SuiteWorkload>(name));
+    }
+};
+
+const SuiteRegistrar mcdSuiteWorkloadRegistrar;
+
+} // namespace
+} // namespace mcd::workload

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Documentation drift gates: docs/POLICIES.md must cover every
+ * registered policy with its full parameter schema (verified
+ * against the same `describePolicies()` text `--list-policies`
+ * prints), and docs/WORKLOADS.md must cover every registered
+ * workload family and every generator parameter.  A new policy or
+ * parameter without a docs section fails here, not in review.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "control/policy.hh"
+#include "workload/generate.hh"
+#include "workload/registry.hh"
+
+namespace
+{
+
+std::string
+readDoc(const std::string &rel)
+{
+    std::string path = std::string(MCD_SOURCE_DIR) + "/" + rel;
+    std::ifstream in(path);
+    EXPECT_TRUE(in) << "cannot read " << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+TEST(Docs, PoliciesDocCoversTheRegistry)
+{
+    std::string doc = readDoc("docs/POLICIES.md");
+    for (const mcd::control::Policy *p :
+         mcd::control::PolicyRegistry::instance().list()) {
+        // One "## `name`" section per policy...
+        EXPECT_NE(doc.find("## `" + std::string(p->name()) + "`"),
+                  std::string::npos)
+            << "docs/POLICIES.md lacks a section for policy '"
+            << p->name() << "'";
+        // ...documenting every schema parameter with its canonical
+        // default, exactly as --list-policies prints it.
+        for (const mcd::control::ParamInfo &pi : p->params()) {
+            std::string needle =
+                "`" + pi.name + "` | " +
+                (pi.type == mcd::control::ParamType::Mode
+                     ? std::string(mcd::control::compactModeName(
+                           pi.defaultMode))
+                     : mcd::control::fmtFixed(pi.defaultDouble, 3));
+            EXPECT_NE(doc.find(needle), std::string::npos)
+                << "docs/POLICIES.md: policy '" << p->name()
+                << "' parameter row '" << needle
+                << "' missing or stale";
+        }
+    }
+}
+
+TEST(Docs, WorkloadsDocCoversTheRegistry)
+{
+    std::string doc = readDoc("docs/WORKLOADS.md");
+    // Every registered family (the 19 suite names share one
+    // section; gen and prog get their own).
+    EXPECT_NE(doc.find("## Suite benchmarks"), std::string::npos);
+    EXPECT_NE(doc.find("## `gen`"), std::string::npos);
+    EXPECT_NE(doc.find("`prog`"), std::string::npos);
+    for (const mcd::workload::WorkloadFactory *f :
+         mcd::workload::WorkloadRegistry::instance().list())
+        EXPECT_NE(doc.find("`" + std::string(f->name()) + "`"),
+                  std::string::npos)
+            << "docs/WORKLOADS.md does not mention workload '"
+            << f->name() << "'";
+    // Every generator knob, with its canonical default.
+    for (const mcd::workload::SpecParamInfo &pi :
+         mcd::workload::generatorParams()) {
+        std::string def =
+            pi.integer ? std::to_string((long long)pi.defaultNum)
+                       : mcd::control::fmtFixed(pi.defaultNum, 3);
+        std::string needle = "`" + pi.name + "` | " + def;
+        EXPECT_NE(doc.find(needle), std::string::npos)
+            << "docs/WORKLOADS.md: generator knob row '" << needle
+            << "' missing or stale";
+    }
+}
+
+TEST(Docs, WorkloadsDocGrammarSectionsExist)
+{
+    std::string doc = readDoc("docs/WORKLOADS.md");
+    // The authoring grammar's section vocabulary must be documented
+    // one for one.
+    for (const char *section :
+         {"`program:`", "`input:`", "`mix:`", "`func:`", "`args:`",
+          "`block:`", "`loop:`", "`call:`"})
+        EXPECT_NE(doc.find(section), std::string::npos)
+            << "docs/WORKLOADS.md lacks grammar docs for "
+            << section;
+}

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "workload/spec.hh"
 #include "workload/stream.hh"
 #include "workload/suite.hh"
 
@@ -87,6 +88,25 @@ TEST(Suite, NamesStable)
     EXPECT_EQ(suiteNames().size(), 19u);
     EXPECT_TRUE(isSuiteBenchmark("gzip"));
     EXPECT_FALSE(isSuiteBenchmark("doom"));
+}
+
+TEST(Suite, UnknownNameIsCatchableAndListsWhatExists)
+{
+    // makeBenchmark routes through the WorkloadRegistry: an unknown
+    // name is a SpecError (not a process-terminating fatal), and
+    // the message names the registered workloads so a CLI typo is
+    // self-diagnosing.
+    try {
+        makeBenchmark("doom");
+        FAIL() << "unknown benchmark did not throw";
+    } catch (const SpecError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("unknown workload 'doom'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("gzip"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("gen"), std::string::npos) << msg;
+    }
 }
 
 TEST(Suite, Mpeg2DecodeDivergesBetweenInputs)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail on dangling relative links in the repo's Markdown files.
+
+Scans every *.md under the repository root (skipping build trees and
+dot-directories) for inline links/images `[text](target)` and
+reference definitions `[id]: target`, and verifies that relative
+targets resolve to an existing file or directory.  http(s)/mailto
+links and bare in-page anchors are skipped; an in-file anchor suffix
+(`file.md#section`) is checked against the file only.
+
+Run from anywhere:  python3 tools/check_doc_links.py
+CI runs it as the docs gate.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+REFDEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_DIRS = {"build", ".git", ".claude"}
+
+
+def targets(text):
+    code_free = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    code_free = re.sub(r"`[^`]*`", "", code_free)
+    for match in LINK.finditer(code_free):
+        yield match.group(1)
+    for match in REFDEF.finditer(code_free):
+        yield match.group(1)
+
+
+def main():
+    root = Path(__file__).resolve().parent.parent
+    bad = []
+    md_files = [
+        p
+        for p in root.rglob("*.md")
+        if not any(part in SKIP_DIRS or part.startswith(".")
+                   for part in p.relative_to(root).parts[:-1])
+    ]
+    for md in sorted(md_files):
+        for target in targets(md.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):  # in-page anchor
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                bad.append(
+                    f"{md.relative_to(root)}: dangling link "
+                    f"'{target}'"
+                )
+    if bad:
+        print("\n".join(bad), file=sys.stderr)
+        print(f"{len(bad)} dangling link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(md_files)} markdown files: all relative "
+          "links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
