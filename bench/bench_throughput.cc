@@ -263,7 +263,15 @@ main(int argc, char **argv)
     std::string json_path;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+        if (!std::strcmp(argv[i], "--json")) {
+            // A trailing --json used to fall through to Google
+            // Benchmark (which rejects it with its own error) —
+            // hard-error here like every other flag instead.
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --json needs a value\n",
+                             argv[0]);
+                return 1;
+            }
             json_path = argv[++i];
             continue;
         }

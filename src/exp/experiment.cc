@@ -454,7 +454,8 @@ Runner::store(const std::string &key, const Outcome &o)
 
 Outcome
 Runner::memoize(const std::string &key,
-                const std::function<Outcome()> &compute)
+                const std::function<Outcome()> &compute,
+                bool *computed)
 {
     Shard &s = shardFor(key);
     std::promise<Outcome> prom;
@@ -471,6 +472,9 @@ Runner::memoize(const std::string &key,
             owner = true;
         }
     }
+    if (computed)
+        *computed = owner;
+    (owner ? nMisses : nHits).fetch_add(1, std::memory_order_relaxed);
     if (!owner)
         return fut.get();
     try {
@@ -518,14 +522,25 @@ Outcome
 Runner::run(const std::string &bench,
             const control::PolicySpec &spec)
 {
+    return run(bench, spec, nullptr);
+}
+
+Outcome
+Runner::run(const std::string &bench,
+            const control::PolicySpec &spec, bool *memo_hit)
+{
     control::PolicySpec canon;
     std::string canonBench;
     const control::Policy *policy = nullptr;
     std::string key = resolve(bench, spec, canon, canonBench, policy);
     // Policies see the canonical bench spec, so their own
     // makeBenchmark()/evaluate() calls resolve to the same cells.
+    bool computed = false;
     Outcome o = memoize(
-        key, [&] { return policy->run(canonBench, canon, ctx); });
+        key, [&] { return policy->run(canonBench, canon, ctx); },
+        &computed);
+    if (memo_hit)
+        *memo_hit = !computed;
     // Metrics are intentionally outside the memo: they derive from
     // two cached raw outcomes and stay correct however either one
     // got here.

@@ -34,6 +34,7 @@
 #define MCD_EXP_EXPERIMENT_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -167,6 +168,17 @@ class Runner
     Outcome run(const std::string &bench,
                 const control::PolicySpec &spec);
 
+    /**
+     * Like run(bench, spec), but also reports whether the *outer*
+     * cell was served from the memo (@p memo_hit = true) or computed
+     * by this call (false).  Dependency cells the policy evaluates
+     * internally (the baseline for metrics, offline for global) do
+     * not affect the flag — they show up in the aggregate counters
+     * below instead.
+     */
+    Outcome run(const std::string &bench,
+                const control::PolicySpec &spec, bool *memo_hit);
+
     // ------------------------------------------------------------ //
     // Deprecated entry points for the old closed policy set.  Thin  //
     // shims over run(bench, spec); kept so pre-registry call sites  //
@@ -194,6 +206,21 @@ class Runner
 
     /** Non-empty CSV lines rejected as malformed at construction. */
     std::size_t rejectedCacheLines() const { return nRejected; }
+
+    /**
+     * Memoized requests served without computing: duplicates of an
+     * in-flight or finished cell, plus cells preloaded from the CSV
+     * cache.  Counts every memo lookup, including the dependency
+     * cells policies evaluate internally (metrics baselines, the
+     * offline run behind global DVS).
+     */
+    std::uint64_t memoHits() const { return nHits.load(); }
+
+    /** Memoized requests that computed their cell (the memo owner).
+     *  `memoMisses()` of a sweep equals its number of distinct
+     *  simulated cells — the server's duplicate-suppression tests
+     *  key off exactly this. */
+    std::uint64_t memoMisses() const { return nMisses.load(); }
 
     /**
      * The memo/CSV cache key of a canonical spec on this runner:
@@ -234,7 +261,8 @@ class Runner
                         std::string &canonBench,
                         const control::Policy *&policy) const;
     Outcome memoize(const std::string &key,
-                    const std::function<Outcome()> &compute);
+                    const std::function<Outcome()> &compute,
+                    bool *computed = nullptr);
     void store(const std::string &key, const Outcome &o);
     void loadCache();
     Metrics vsBaseline(const std::string &bench, const Outcome &o);
@@ -247,6 +275,8 @@ class Runner
     std::unique_ptr<CacheWriter> writer;
     std::size_t nLoaded = 0;
     std::size_t nRejected = 0;
+    std::atomic<std::uint64_t> nHits{0};
+    std::atomic<std::uint64_t> nMisses{0};
 };
 
 } // namespace mcd::exp

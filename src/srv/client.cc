@@ -1,0 +1,209 @@
+#include "srv/client.hh"
+
+#include <cstdlib>
+
+namespace mcd::srv
+{
+
+namespace
+{
+
+std::uint64_t
+toU64(const std::string &text)
+{
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+} // namespace
+
+Client
+Client::connectUnix(const std::string &path)
+{
+    return Client(srv::connectUnix(path));
+}
+
+Client
+Client::connectTcp(std::uint16_t port)
+{
+    return Client(srv::connectTcp(port));
+}
+
+Response
+Client::readResponse()
+{
+    std::string line;
+    Conn::ReadStatus st =
+        conn_.readLine(line, replyTimeoutMs_, 256 * 1024);
+    switch (st) {
+    case Conn::ReadStatus::Line:
+        break;
+    case Conn::ReadStatus::Eof:
+        throw NetError("server closed the connection");
+    case Conn::ReadStatus::Timeout:
+        throw NetError("no reply within " +
+                       std::to_string(replyTimeoutMs_) + "ms");
+    case Conn::ReadStatus::Overflow:
+        throw NetError("reply line too long");
+    case Conn::ReadStatus::Error:
+        throw NetError("socket error reading reply");
+    }
+    Response resp;
+    std::string perr;
+    if (!parseResponse(line, resp, perr))
+        throw NetError("unparseable reply: " + perr);
+    if (resp.kind == Response::Kind::Err) {
+        const std::string &retry = resp.field("retry_ms");
+        throw ClientError(resp.field("code"), resp.msg,
+                          retry.empty()
+                              ? 0
+                              : static_cast<int>(toU64(retry)));
+    }
+    return resp;
+}
+
+Response
+Client::roundTrip(const Request &req, Response::Kind expect)
+{
+    if (!conn_.writeLine(formatRequest(req)))
+        throw NetError("send failed (server gone?)");
+    Response resp = readResponse();
+    if (resp.kind != expect)
+        throw NetError("unexpected reply kind for request id=" +
+                       req.id);
+    return resp;
+}
+
+void
+Client::hello()
+{
+    Request req;
+    req.verb = Request::Verb::Hello;
+    req.id = "q" + std::to_string(seq_++);
+    Response resp = roundTrip(req, Response::Kind::Ok);
+    const std::string &proto = resp.field("proto");
+    if (proto != std::to_string(PROTO_VERSION))
+        throw NetError("server speaks protocol version '" + proto +
+                       "', this client needs " +
+                       std::to_string(PROTO_VERSION));
+    fingerprint_ =
+        std::strtoull(resp.field("fingerprint").c_str(), nullptr, 16);
+}
+
+void
+Client::ping()
+{
+    Request req;
+    req.verb = Request::Verb::Ping;
+    req.id = "q" + std::to_string(seq_++);
+    roundTrip(req, Response::Kind::Ok);
+}
+
+std::vector<std::pair<std::string, std::string>>
+Client::stats()
+{
+    Request req;
+    req.verb = Request::Verb::Stats;
+    req.id = "q" + std::to_string(seq_++);
+    return roundTrip(req, Response::Kind::Ok).fields;
+}
+
+SweepReply
+Client::sweep(const std::vector<std::string> &workloads,
+              const std::vector<std::string> &policies,
+              std::uint64_t window, int timeout_ms, bool pin)
+{
+    Request req;
+    req.verb = Request::Verb::Sweep;
+    req.id = "q" + std::to_string(seq_++);
+    req.workloads = workloads;
+    req.policies = policies;
+    req.window = window;
+    req.timeoutMs = timeout_ms;
+    if (pin) {
+        req.hasFingerprint = true;
+        req.fingerprint = fingerprint_;
+    }
+    if (!conn_.writeLine(formatRequest(req)))
+        throw NetError("send failed (server gone?)");
+
+    SweepReply reply;
+    for (;;) {
+        Response resp = readResponse();
+        if (resp.kind == Response::Kind::Row) {
+            SweepRow row;
+            row.workload = resp.field("workload");
+            row.policy = resp.field("policy");
+            row.memoHit = resp.field("memo") == "hit";
+            std::string perr;
+            if (!parseOutcome(resp.fields, row.outcome, perr))
+                throw NetError("bad ROW payload: " + perr);
+            reply.rows.push_back(std::move(row));
+            continue;
+        }
+        if (resp.kind == Response::Kind::Done) {
+            reply.hits = toU64(resp.field("hits"));
+            reply.misses = toU64(resp.field("misses"));
+            return reply;
+        }
+        throw NetError("unexpected reply kind mid-sweep");
+    }
+}
+
+std::string
+Client::uploadProgram(const std::string &program_text)
+{
+    // Split into lines; the PROG header announces the exact count.
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : program_text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+
+    Request req;
+    req.verb = Request::Verb::Prog;
+    req.id = "q" + std::to_string(seq_++);
+    req.progLines = lines.size();
+    std::string payload = formatRequest(req);
+    payload += '\n';
+    for (const auto &l : lines) {
+        payload += l;
+        payload += '\n';
+    }
+    if (!conn_.writeAll(payload))
+        throw NetError("send failed (server gone?)");
+    Response resp = readResponse();
+    if (resp.kind != Response::Kind::Ok)
+        throw NetError("unexpected reply kind for PROG");
+    return resp.field("handle");
+}
+
+void
+Client::quit()
+{
+    Request req;
+    req.verb = Request::Verb::Quit;
+    req.id = "q" + std::to_string(seq_++);
+    roundTrip(req, Response::Kind::Bye);
+}
+
+std::string
+Client::raw(const std::string &line)
+{
+    if (!conn_.writeLine(line))
+        throw NetError("send failed (server gone?)");
+    std::string reply;
+    Conn::ReadStatus st =
+        conn_.readLine(reply, replyTimeoutMs_, 256 * 1024);
+    if (st != Conn::ReadStatus::Line)
+        throw NetError("no reply line");
+    return reply;
+}
+
+} // namespace mcd::srv

@@ -4,8 +4,10 @@
  * registered policy with its full parameter schema (verified
  * against the same `describePolicies()` text `--list-policies`
  * prints), and docs/WORKLOADS.md must cover every registered
- * workload family and every generator parameter.  A new policy or
- * parameter without a docs section fails here, not in review.
+ * workload family and every generator parameter, and docs/SERVER.md
+ * must track the wire protocol's verbs, error codes and the real
+ * `srv::ServerConfig` defaults.  A new policy, parameter, knob or
+ * error code without a docs section fails here, not in review.
  */
 
 #include <gtest/gtest.h>
@@ -15,6 +17,8 @@
 #include <string>
 
 #include "control/policy.hh"
+#include "srv/proto.hh"
+#include "srv/server.hh"
 #include "workload/generate.hh"
 #include "workload/registry.hh"
 
@@ -86,6 +90,51 @@ TEST(Docs, WorkloadsDocCoversTheRegistry)
             << "docs/WORKLOADS.md: generator knob row '" << needle
             << "' missing or stale";
     }
+}
+
+TEST(Docs, ServerDocCoversProtocolAndKnobs)
+{
+    std::string doc = readDoc("docs/SERVER.md");
+    // The protocol tag, every verb and every reply kind.
+    EXPECT_NE(doc.find(mcd::srv::PROTO_TAG), std::string::npos);
+    for (const char *verb : {"`HELLO`", "`PING`", "`STATS`",
+                             "`SWEEP`", "`PROG`", "`QUIT`"})
+        EXPECT_NE(doc.find(verb), std::string::npos)
+            << "docs/SERVER.md lacks verb " << verb;
+    for (const char *kind :
+         {"\"OK\"", "\"ROW\"", "\"DONE\"", "\"ERR\"", "\"BYE\""})
+        EXPECT_NE(doc.find(kind), std::string::npos)
+            << "docs/SERVER.md grammar lacks reply kind " << kind;
+    // Every structured error code, one table row each.
+    for (const std::string &code : mcd::srv::errorCodes())
+        EXPECT_NE(doc.find("| `" + code + "` |"),
+                  std::string::npos)
+            << "docs/SERVER.md lacks error code '" << code << "'";
+    // Every knob row carries the struct's real default, so the doc
+    // cannot drift from src/srv/server.hh.
+    mcd::srv::ServerConfig def;
+    auto row = [](const char *name, const std::string &value) {
+        return "| `" + std::string(name) + "` | " + value + " |";
+    };
+    for (const std::string &needle : {
+             row("tcpPort", std::to_string(def.tcpPort)),
+             row("queueLimit", std::to_string(def.queueLimit)),
+             row("maxCellsPerRequest",
+                 std::to_string(def.maxCellsPerRequest)),
+             row("maxConnections",
+                 std::to_string(def.maxConnections)),
+             row("requestTimeoutMs",
+                 std::to_string(def.requestTimeoutMs)),
+             row("idleTimeoutMs",
+                 std::to_string(def.idleTimeoutMs)),
+             row("maxLineBytes", std::to_string(def.maxLineBytes)),
+             row("maxProgLines", std::to_string(def.maxProgLines)),
+             row("retryAfterMs", std::to_string(def.retryAfterMs)),
+             row("maxWindows", std::to_string(def.maxWindows)),
+         })
+        EXPECT_NE(doc.find(needle), std::string::npos)
+            << "docs/SERVER.md knob row '" << needle
+            << "' missing or stale";
 }
 
 TEST(Docs, WorkloadsDocGrammarSectionsExist)

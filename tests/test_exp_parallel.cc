@@ -4,6 +4,13 @@
  * fixes: jobs=1 vs jobs=8 equivalence, concurrent store() safety,
  * strict cache-line validation, config-fingerprint keying, and
  * graceful handling of unwritable cache paths.
+ *
+ * The memo-abuse section at the bottom is the sweep server's
+ * foundation: exact `memoHits()`/`memoMisses()` accounting (the
+ * server's duplicate-suppression acceptance test keys off misses ==
+ * distinct cells) and concurrent readers racing the cache-writer
+ * thread over a cache file salted with truncated, garbled and
+ * foreign-version lines.
  */
 
 #include <gtest/gtest.h>
@@ -12,6 +19,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "control/policy.hh"
@@ -291,4 +299,165 @@ TEST(ExpParallel, SweepResultsMatchDirectPolicyCalls)
             direct.run(bench, control::PolicySpec::of("hybrid")
                                   .set("d", 10.0)));
     }
+}
+
+// ---------------------------------------------------------------- //
+// Memo abuse: the counters and races the sweep server builds on    //
+// ---------------------------------------------------------------- //
+
+TEST(ExpParallel, MemoCountersCountDistinctCellsExactly)
+{
+    // 8 copies of 4 distinct cells, raced across 8 jobs.  However
+    // the threads interleave, exactly one lookup per distinct key
+    // wins ownership: misses == 4 == cells actually simulated.
+    std::vector<SweepCell> base = {
+        SweepCell::of("gsm_decode", "baseline"),
+        SweepCell::of("gsm_decode", "offline:d=10"),
+        SweepCell::of("adpcm_decode", "baseline"),
+        SweepCell::of("adpcm_decode", "offline:d=10"),
+    };
+    std::vector<SweepCell> cells;
+    for (int rep = 0; rep < 8; ++rep)
+        cells.insert(cells.end(), base.begin(), base.end());
+    Runner r(smallConfig());
+    r.runSweep(cells, 8);
+    EXPECT_EQ(r.memoMisses(), 4u);
+    // Hits are deterministic too: 32 sweep lookups + 16 baseline
+    // lookups from the offline cells' metrics (vsBaseline sits
+    // outside the memo, so every offline run() does one), minus the
+    // 4 owners.
+    EXPECT_EQ(r.memoHits(), 32u + 16u - 4u);
+
+    // The per-call flag reports the same thing request-by-request.
+    Runner fresh(smallConfig());
+    bool hit = true;
+    fresh.run("gsm_decode", control::PolicySpec::of("baseline"),
+              &hit);
+    EXPECT_FALSE(hit);
+    fresh.run("gsm_decode", control::PolicySpec::of("baseline"),
+              &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(fresh.memoMisses(), 1u);
+    EXPECT_EQ(fresh.memoHits(), 1u);
+}
+
+TEST(ExpParallel, CachePreloadedCellCountsAsMemoHit)
+{
+    std::string path = tempCachePath("preload_hit");
+    std::remove(path.c_str());
+    ExpConfig cfg = smallConfig();
+    cfg.cacheFile = path;
+    {
+        Runner r(cfg);
+        r.baseline("gsm_decode");
+    }
+    Runner reload(cfg);
+    ASSERT_EQ(reload.loadedFromCache(), 1u);
+    bool hit = false;
+    reload.run("gsm_decode", control::PolicySpec::of("baseline"),
+               &hit);
+    // A CSV-preloaded cell is a hit, not a miss: nothing was
+    // simulated on this runner's watch.
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(reload.memoHits(), 1u);
+    EXPECT_EQ(reload.memoMisses(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(ExpParallel, ConcurrentReadersRaceWriterOverCorruptCache)
+{
+    // The hostile-restart scenario: the cache file holds a mix of a
+    // valid (sentinel-rewritten) line, a foreign-CACHE_VERSION line,
+    // a foreign-fingerprint line, a truncated tail and a garbled
+    // numeric — then 8 sweep jobs plus dedicated reader threads race
+    // the appending cache-writer thread over it.
+    std::string path = tempCachePath("abuse");
+    std::remove(path.c_str());
+    ExpConfig cfg = smallConfig();
+    cfg.cacheFile = path;
+    {
+        Runner r(cfg);
+        r.baseline("gsm_decode");
+    }
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    const std::string &good = lines[0];
+    ASSERT_EQ(good[0], 'v');
+    std::string key = good.substr(0, good.find(','));
+    // Same key, different cache version: loads, but under a dead key
+    // no current-version request can ever form.
+    std::string foreignVersion =
+        "v0" + good.substr(good.find('|'));
+    // Same version, one fingerprint hex digit flipped: also dead.
+    std::string foreignFp = good;
+    std::size_t fpDigit = good.find('|') + 2;  // "...|c<hex16>|..."
+    foreignFp[fpDigit] = foreignFp[fpDigit] == '0' ? '1' : '0';
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << key << ",777,1,0,0,0,0,0,0,0,0,0\n";
+        out << foreignVersion << '\n';
+        out << foreignFp << '\n';
+        out << good.substr(0, good.size() / 2) << '\n';
+        out << key << ",1,2,3,4,nope,6,7,8,9,10,11\n";
+    }
+
+    std::vector<SweepCell> base = {
+        SweepCell::of("gsm_decode", "baseline"),
+        SweepCell::of("gsm_decode", "offline:d=10"),
+        SweepCell::of("adpcm_decode", "baseline"),
+        SweepCell::of("adpcm_decode", "offline:d=10"),
+    };
+    std::vector<SweepCell> cells;
+    for (int rep = 0; rep < 8; ++rep)
+        cells.insert(cells.end(), base.begin(), base.end());
+    std::vector<Outcome> out;
+    {
+        Runner race(cfg);
+        EXPECT_EQ(race.loadedFromCache(), 3u);
+        EXPECT_EQ(race.rejectedCacheLines(), 2u);
+
+        // Readers hammer the preloaded cell while the sweep computes
+        // the other three and the writer thread appends them.
+        std::vector<std::thread> readers;
+        for (int t = 0; t < 3; ++t)
+            readers.emplace_back([&race] {
+                for (int i = 0; i < 50; ++i) {
+                    bool hit = false;
+                    Outcome o = race.run(
+                        "gsm_decode",
+                        control::PolicySpec::of("baseline"), &hit);
+                    EXPECT_TRUE(hit);
+                    EXPECT_DOUBLE_EQ(o.timePs, 777.0);
+                }
+            });
+        out = race.runSweep(cells, 8);
+        for (auto &t : readers)
+            t.join();
+        // Only the three non-preloaded cells were simulated, however
+        // the readers and jobs interleaved.
+        EXPECT_EQ(race.memoMisses(), 3u);
+    }  // drain the writer
+
+    // Duplicates agree with each other...
+    for (std::size_t i = 4; i < out.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        expectSameOutcome(out[i % 4], out[i]);
+    }
+    // ...and the sentinel was served for the valid line, never the
+    // dead foreign-version/fingerprint sentinels or a recompute.
+    EXPECT_DOUBLE_EQ(out[0].timePs, 777.0);
+    EXPECT_NE(out[2].timePs, 777.0);
+
+    // The writer appended the three computed cells after the corrupt
+    // seed; a fresh runner loads 3 + 3 lines, still rejecting 2, and
+    // serves the appended outcomes byte-exactly.
+    Runner reload(cfg);
+    EXPECT_EQ(reload.loadedFromCache(), 6u);
+    EXPECT_EQ(reload.rejectedCacheLines(), 2u);
+    bool hit = false;
+    Outcome again = reload.run(
+        "adpcm_decode", control::PolicySpec::of("baseline"), &hit);
+    EXPECT_TRUE(hit);
+    expectSameOutcome(again, out[2]);
+    std::remove(path.c_str());
 }

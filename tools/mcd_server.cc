@@ -1,0 +1,207 @@
+/**
+ * @file
+ * `mcd_server` — the standalone sweep-service daemon: bind a Unix
+ * and/or loopback-TCP listener, serve MCD/1 requests until SIGTERM
+ * or SIGINT, then drain cleanly (admitted sweeps finish streaming,
+ * the result cache is flushed) and exit 0.
+ *
+ * The startup line on stdout is machine-readable — the CI smoke job
+ * greps the bound ephemeral port out of it:
+ *
+ *     mcd_server listening tcp=PORT unix=PATH fingerprint=HEX \
+ *         window=N jobs=N
+ */
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+#include "srv/server.hh"
+
+namespace
+{
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+printUsage(const char *argv0, std::FILE *to)
+{
+    std::fprintf(
+        to,
+        "usage: %s [options]\n"
+        "  --unix PATH        listen on a Unix-domain socket\n"
+        "  --tcp PORT         listen on 127.0.0.1:PORT (0 = pick an\n"
+        "                     ephemeral port, printed at startup)\n"
+        "  --window N         default production window "
+        "(instructions)\n"
+        "  --jobs N           sweep pool size (0 = all hardware "
+        "threads)\n"
+        "  --cache FILE       CSV result cache (default: none)\n"
+        "  --queue-limit N    max cells queued or running "
+        "(admission bound)\n"
+        "  --max-cells N      max cells in one SWEEP request\n"
+        "  --max-connections N  max simultaneous connections\n"
+        "  --request-timeout-ms N  per-request deadline cap\n"
+        "  --idle-timeout-ms N     per-frame read deadline\n"
+        "  --retry-after-ms N      back-off hint on overload\n"
+        "  --max-windows N    max distinct per-request windows\n"
+        "  --help             print this message and exit\n"
+        "at least one of --unix / --tcp is required.\n",
+        argv0);
+}
+
+unsigned long long
+numberArg(int argc, char **argv, int &i, const char *flag,
+          unsigned long long max)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n\n", argv[0],
+                     flag);
+        printUsage(argv[0], stderr);
+        std::exit(1);
+    }
+    const char *text = argv[++i];
+    char *end = nullptr;
+    errno = 0;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (!(text[0] >= '0' && text[0] <= '9') || end == text ||
+        *end != '\0' || errno == ERANGE || v > max) {
+        std::fprintf(stderr,
+                     "%s: %s wants a plain decimal number in "
+                     "[0, %llu], got '%s'\n\n",
+                     argv[0], flag, max, text);
+        printUsage(argv[0], stderr);
+        std::exit(1);
+    }
+    return v;
+}
+
+const char *
+valueArg(int argc, char **argv, int &i, const char *flag)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n\n", argv[0],
+                     flag);
+        printUsage(argv[0], stderr);
+        std::exit(1);
+    }
+    return argv[++i];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mcd;
+
+    srv::ServerConfig cfg;
+    bool haveTcp = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--unix")) {
+            cfg.unixPath = valueArg(argc, argv, i, "--unix");
+        } else if (!std::strcmp(argv[i], "--tcp")) {
+            cfg.tcpPort = static_cast<int>(
+                numberArg(argc, argv, i, "--tcp", 65535));
+            haveTcp = true;
+        } else if (!std::strcmp(argv[i], "--window")) {
+            cfg.exp.productionWindow = numberArg(
+                argc, argv, i, "--window",
+                std::numeric_limits<std::uint64_t>::max());
+            cfg.exp.analysisWindow = cfg.exp.productionWindow;
+        } else if (!std::strcmp(argv[i], "--jobs")) {
+            cfg.exp.jobs = static_cast<unsigned>(
+                numberArg(argc, argv, i, "--jobs",
+                          std::numeric_limits<unsigned>::max()));
+        } else if (!std::strcmp(argv[i], "--cache")) {
+            cfg.exp.cacheFile = valueArg(argc, argv, i, "--cache");
+        } else if (!std::strcmp(argv[i], "--queue-limit")) {
+            cfg.queueLimit = static_cast<std::size_t>(
+                numberArg(argc, argv, i, "--queue-limit", 1u << 20));
+        } else if (!std::strcmp(argv[i], "--max-cells")) {
+            cfg.maxCellsPerRequest = static_cast<std::size_t>(
+                numberArg(argc, argv, i, "--max-cells", 1u << 20));
+        } else if (!std::strcmp(argv[i], "--max-connections")) {
+            cfg.maxConnections = static_cast<std::size_t>(numberArg(
+                argc, argv, i, "--max-connections", 1u << 16));
+        } else if (!std::strcmp(argv[i], "--request-timeout-ms")) {
+            cfg.requestTimeoutMs = static_cast<int>(
+                numberArg(argc, argv, i, "--request-timeout-ms",
+                          86'400'000));
+        } else if (!std::strcmp(argv[i], "--idle-timeout-ms")) {
+            cfg.idleTimeoutMs = static_cast<int>(numberArg(
+                argc, argv, i, "--idle-timeout-ms", 86'400'000));
+        } else if (!std::strcmp(argv[i], "--retry-after-ms")) {
+            cfg.retryAfterMs = static_cast<int>(numberArg(
+                argc, argv, i, "--retry-after-ms", 3'600'000));
+        } else if (!std::strcmp(argv[i], "--max-windows")) {
+            cfg.maxWindows = static_cast<std::size_t>(
+                numberArg(argc, argv, i, "--max-windows", 1u << 10));
+        } else if (!std::strcmp(argv[i], "--help")) {
+            printUsage(argv[0], stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "%s: unrecognized argument '%s'\n\n",
+                         argv[0], argv[i]);
+            printUsage(argv[0], stderr);
+            return 1;
+        }
+    }
+    if (cfg.unixPath.empty() && !haveTcp) {
+        std::fprintf(stderr,
+                     "%s: need at least one of --unix / --tcp\n\n",
+                     argv[0]);
+        printUsage(argv[0], stderr);
+        return 1;
+    }
+
+    srv::SweepServer server(cfg);
+    try {
+        server.start();
+    } catch (const srv::NetError &e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+    }
+
+    std::printf("mcd_server listening tcp=%u unix=%s "
+                "fingerprint=%016llx window=%llu jobs=%u\n",
+                server.tcpPort(),
+                server.unixSocketPath().empty()
+                    ? "-"
+                    : server.unixSocketPath().c_str(),
+                static_cast<unsigned long long>(server.fingerprint()),
+                static_cast<unsigned long long>(
+                    cfg.exp.productionWindow),
+                cfg.exp.jobs);
+    std::fflush(stdout);
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    while (!g_stop)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::printf("mcd_server draining...\n");
+    std::fflush(stdout);
+    server.stop();
+    mcd::srv::ServerStats s = server.stats();
+    std::printf("mcd_server drained: connections=%llu rows=%llu "
+                "computed=%llu memo_hits=%llu\n",
+                static_cast<unsigned long long>(s.connections),
+                static_cast<unsigned long long>(s.rowsStreamed),
+                static_cast<unsigned long long>(s.memoMisses),
+                static_cast<unsigned long long>(s.memoHits));
+    return 0;
+}
