@@ -75,13 +75,13 @@ main(int argc, char **argv)
                        ? "-"
                        : TextTable::num(
                              static_cast<double>(common_lr) /
-                                 ref_lr.size(),
+                                 static_cast<double>(ref_lr.size()),
                              2),
                    ref_all.empty()
                        ? "-"
                        : TextTable::num(
                              static_cast<double>(common_all) /
-                                 ref_all.size(),
+                                 static_cast<double>(ref_all.size()),
                              2)};
     });
     for (const auto &row : rows)

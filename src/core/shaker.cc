@@ -196,11 +196,11 @@ SegmentAnalyzer::analyze(const std::vector<InstrTiming> &segment,
 
         // width-aware structural bandwidth chains
         fetch_events.push_back(e_fetch);
-        if (fetch_events.size() >
-            static_cast<std::size_t>(cfg.fetchWidth)) {
+        const std::size_t fetch_w =
+            static_cast<std::size_t>(cfg.fetchWidth);
+        if (fetch_events.size() > fetch_w) {
             addEdge(ev,
-                    fetch_events[fetch_events.size() - 1 -
-                                 cfg.fetchWidth],
+                    fetch_events[fetch_events.size() - 1 - fetch_w],
                     e_fetch);
         }
         // NOTE: no chain over full mem-access events — cache ports
@@ -225,11 +225,14 @@ SegmentAnalyzer::analyze(const std::vector<InstrTiming> &segment,
         // Retire bandwidth chain and ROB occupancy edge.
         commit_events.push_back(e_commit);
         std::size_t idx = commit_events.size() - 1;
-        if (idx >= static_cast<std::size_t>(cfg.retireWidth))
-            addEdge(ev, commit_events[idx - cfg.retireWidth],
-                    e_commit);
-        if (idx >= static_cast<std::size_t>(cfg.robSize))
-            addEdge(ev, commit_events[idx - cfg.robSize], e_disp);
+        const std::size_t retire_w =
+            static_cast<std::size_t>(cfg.retireWidth);
+        const std::size_t rob_sz =
+            static_cast<std::size_t>(cfg.robSize);
+        if (idx >= retire_w)
+            addEdge(ev, commit_events[idx - retire_w], e_commit);
+        if (idx >= rob_sz)
+            addEdge(ev, commit_events[idx - rob_sz], e_disp);
 
         // Per-domain issue bandwidth and queue occupancy.
         int dom = static_cast<int>(t.domain);
@@ -254,10 +257,12 @@ SegmentAnalyzer::analyze(const std::vector<InstrTiming> &segment,
         }
         dex.push_back(e_exec);
         ddp.push_back(e_disp);
-        if (dex.size() > static_cast<std::size_t>(width))
-            addEdge(ev, dex[dex.size() - 1 - width], e_exec);
-        if (qcap > 0 && dex.size() > static_cast<std::size_t>(qcap))
-            addEdge(ev, dex[dex.size() - 1 - qcap], ddp.back());
+        const std::size_t issue_w = static_cast<std::size_t>(width);
+        const std::size_t queue_cap = static_cast<std::size_t>(qcap);
+        if (dex.size() > issue_w)
+            addEdge(ev, dex[dex.size() - 1 - issue_w], e_exec);
+        if (qcap > 0 && dex.size() > queue_cap)
+            addEdge(ev, dex[dex.size() - 1 - queue_cap], ddp.back());
 
         if (t.mispredict) {
             pending_redirect_from = e_exec;

@@ -12,15 +12,15 @@ chooseFrequencies(const NodeHistograms &node, const ThresholdConfig &cfg)
     double base_budget_us = cfg.slowdownPct / 100.0 *
                             static_cast<double>(node.spanPs) * 1e-6;
 
-    for (int d = 0; d < NUM_SCALED_DOMAINS; ++d) {
-        double share = d == static_cast<int>(Domain::FrontEnd)
+    for (std::size_t d = 0; d < node.hist.size(); ++d) {
+        double share = d == domainIndex(Domain::FrontEnd)
                            ? cfg.frontEndShare
                            : cfg.perDomainShare;
         double budget_us = base_budget_us * share;
         const FreqHistogram &h = node.hist[d];
         const FreqSteps &steps = h.steps();
         if (h.totalCycles() <= 0.0) {
-            out[static_cast<size_t>(d)] = cfg.steps.minMhz();
+            out[d] = cfg.steps.minMhz();
             continue;
         }
         Mhz chosen = steps.maxMhz();
@@ -38,7 +38,7 @@ chooseFrequencies(const NodeHistograms &node, const ThresholdConfig &cfg)
                 break;
             }
         }
-        out[static_cast<size_t>(d)] = cfg.steps.quantize(chosen);
+        out[d] = cfg.steps.quantize(chosen);
     }
     return out;
 }

@@ -4,12 +4,11 @@
 #include <cstring>
 #include <deque>
 #include <fstream>
-#include <locale>
-#include <sstream>
 #include <thread>
 
 #include "util/logging.hh"
 #include "util/pool.hh"
+#include "util/text.hh"
 #include "workload/registry.hh"
 
 namespace mcd::exp
@@ -28,8 +27,17 @@ namespace
  *  WorkloadRegistry::canonicalize() — bare suite names are
  *  unchanged, but generated (`gen:...`) and authored (`prog:...`)
  *  workloads now cache under a canonical, parameter-complete
- *  identity.  (History table: docs/ARCHITECTURE.md, layer 7.) */
-constexpr int CACHE_VERSION = 5;
+ *  identity.  v6: SimConfig::watchdogPs left the fingerprint — a
+ *  tripped watchdog aborts the process and never produces an
+ *  outcome, so the knob cannot shape a cached line, and hashing it
+ *  split the cache for a pure safety setting.  The fingerprint
+ *  field list is now machine-checked: tools/mcd_lint.py rule
+ *  `fingerprint-complete` walks the config structs, and rule
+ *  `cache-version-pin` pins the hashed-field digest to this
+ *  version (tools/mcd_lint_pins.json) so any fingerprint-affecting
+ *  diff must bump CACHE_VERSION.  (History table:
+ *  docs/ARCHITECTURE.md, layer 7.) */
+constexpr int CACHE_VERSION = 6;
 
 /** Numeric payload fields per cache line (after the key). */
 constexpr std::size_t NUM_LINE_FIELDS = 11;
@@ -37,22 +45,22 @@ constexpr std::size_t NUM_LINE_FIELDS = 11;
 std::string
 outcomeToLine(const std::string &key, const Outcome &o)
 {
-    // The C locale, enforced via classic(), guarantees '.' decimal
-    // points no matter what the embedding application did with
-    // setlocale(); precision 17 round-trips doubles exactly.
-    std::ostringstream os;
-    os.imbue(std::locale::classic());
-    os.precision(17);
-    os << key;
+    // util::fmtDouble17 is the sanctioned double formatter for
+    // persisted lines: C-locale '.' decimal points regardless of
+    // setlocale(), 17 significant digits so values round-trip
+    // exactly.
+    std::string line = key;
     const double fields[NUM_LINE_FIELDS] = {
         o.timePs, o.energyNj, o.reconfigs, o.overheadCycles,
         o.feCycles, o.dynReconfigPoints, o.dynInstrPoints,
         o.staticReconfigPoints, o.staticInstrPoints, o.tableBytes,
         o.globalFreq,
     };
-    for (double f : fields)
-        os << ',' << f;
-    return os.str();
+    for (double f : fields) {
+        line += ',';
+        line += util::fmtDouble17(f);
+    }
+    return line;
 }
 
 /**
@@ -133,8 +141,12 @@ configFingerprint(const ExpConfig &cfg)
     // Every SimConfig/PowerConfig knob, plus the profiling cap; the
     // remaining ExpConfig parameters (windows, intervals) are
     // spelled out in the cache-key text itself via the policies'
-    // contextKey() fragments.  Keep the field list in sync with
-    // sim/config.hh and power/power.hh.
+    // contextKey() fragments.  The field list is machine-checked
+    // against sim/config.hh, power/power.hh and exp/experiment.hh
+    // by tools/mcd_lint.py (rule `fingerprint-complete`; fields
+    // deliberately left out carry an allow annotation at their
+    // declaration), and its digest is pinned to CACHE_VERSION by
+    // rule `cache-version-pin`.
     Fnv f;
     const sim::SimConfig &s = cfg.sim;
     f.i64(s.fetchWidth);
@@ -185,7 +197,6 @@ configFingerprint(const ExpConfig &cfg)
     f.u64(s.singleClock ? 1 : 0);
     f.u64(s.jitterSeed);
     f.u64(s.fastForward ? 1 : 0);
-    f.u64(s.watchdogPs);
 
     const power::PowerConfig &p = cfg.power;
     for (double v : p.unitPj)
@@ -215,7 +226,9 @@ class Runner::CacheWriter
   public:
     explicit CacheWriter(const std::string &path)
     {
-        out.imbue(std::locale::classic());
+        // The writer only ever emits pre-formatted lines
+        // (outcomeToLine routes doubles through util::fmtDouble17),
+        // so the stream needs no locale fiddling of its own.
         out.open(path, std::ios::app);
         if (!out) {
             warn("result cache '%s' is not writable; "
@@ -406,9 +419,10 @@ Runner::loadCache()
 {
     if (cfg.cacheFile.empty())
         return;
-    std::ifstream in;
-    in.imbue(std::locale::classic());
-    in.open(cfg.cacheFile);
+    // Lines are read whole (getline) and numbers parsed with the
+    // locale-independent util::parseDouble, so the stream itself
+    // performs no locale-sensitive conversions.
+    std::ifstream in(cfg.cacheFile);
     if (!in)
         return;
     constexpr std::size_t MAX_LINE_WARNINGS = 5;
@@ -442,6 +456,9 @@ Runner::loadCache()
 Runner::Shard &
 Runner::shardFor(const std::string &key)
 {
+    // mcd-lint: allow(determinism): in-memory lock-shard selection
+    // only — the hash never reaches a persisted key or a wire
+    // message, so an implementation-defined std::hash is fine here.
     return shards[std::hash<std::string>{}(key) % NUM_SHARDS];
 }
 

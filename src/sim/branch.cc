@@ -9,7 +9,8 @@ BranchPredictor::BranchPredictor(const Config &c)
       history(c.l1Size, 0),
       pht(c.l2Size, 1),
       meta(c.metaSize, 2),
-      btb(static_cast<std::size_t>(c.btbSets) * c.btbWays)
+      btb(static_cast<std::size_t>(c.btbSets) *
+          static_cast<std::size_t>(c.btbWays))
 {
 }
 
@@ -35,8 +36,9 @@ BranchPredictor::predict(std::uint64_t pc) const
     p.taken = counterTaken(mt) ? counterTaken(pa) : counterTaken(bi);
 
     std::uint32_t set = static_cast<std::uint32_t>(idx % cfg.btbSets);
-    const BtbEntry *base = &btb[static_cast<std::size_t>(set) *
-                                cfg.btbWays];
+    const BtbEntry *base =
+        &btb[static_cast<std::size_t>(set) *
+             static_cast<std::size_t>(cfg.btbWays)];
     for (int w = 0; w < cfg.btbWays; ++w) {
         if (base[w].valid && base[w].tag == idx) {
             p.btbHit = true;
@@ -71,8 +73,9 @@ BranchPredictor::update(std::uint64_t pc, bool taken,
     if (taken) {
         std::uint32_t set =
             static_cast<std::uint32_t>(idx % cfg.btbSets);
-        BtbEntry *base = &btb[static_cast<std::size_t>(set) *
-                              cfg.btbWays];
+        BtbEntry *base =
+            &btb[static_cast<std::size_t>(set) *
+                 static_cast<std::size_t>(cfg.btbWays)];
         ++useCounter;
         int victim = 0;
         std::uint64_t oldest = ~0ULL;

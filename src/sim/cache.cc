@@ -40,7 +40,8 @@ Cache::access(std::uint64_t addr)
     std::uint64_t line_addr = addr >> lineShift;
     std::uint32_t set = static_cast<std::uint32_t>(line_addr % sets);
     std::uint64_t tag = line_addr / sets;
-    Line *base = &lines[static_cast<std::size_t>(set) * ways_];
+    Line *base = &lines[static_cast<std::size_t>(set) *
+                        static_cast<std::size_t>(ways_)];
     ++useCounter;
     int victim = 0;
     std::uint64_t oldest = ~0ULL;
@@ -69,7 +70,8 @@ Cache::probe(std::uint64_t addr) const
     std::uint64_t line_addr = addr >> lineShift;
     std::uint32_t set = static_cast<std::uint32_t>(line_addr % sets);
     std::uint64_t tag = line_addr / sets;
-    const Line *base = &lines[static_cast<std::size_t>(set) * ways_];
+    const Line *base = &lines[static_cast<std::size_t>(set) *
+                              static_cast<std::size_t>(ways_)];
     for (int w = 0; w < ways_; ++w)
         if (base[w].valid && base[w].tag == tag)
             return true;

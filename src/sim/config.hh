@@ -103,6 +103,10 @@ struct SimConfig
     bool fastForward = true;
 
     /** Safety: abort if no instruction commits for this many ps. */
+    // mcd-lint: allow(fingerprint-complete): a tripped watchdog
+    // aborts the process before any outcome exists, so the threshold
+    // can never shape a cached line (CACHE_VERSION v6 note,
+    // src/exp/experiment.cc).
     Tick watchdogPs = 400ULL * 1000 * 1000;
 
     /** Supply voltage for frequency @p f (linear XScale-like model). */

@@ -41,7 +41,7 @@ Kernel::jumpTo(Domain d, Mhz f)
 }
 
 void
-Kernel::tryPark(int d)
+Kernel::tryPark(std::size_t d)
 {
     // No parking while any clock ramps: a ramping clock updates
     // frequency and voltage at every edge, and chip-wide leakage
@@ -58,7 +58,7 @@ Kernel::tryPark(int d)
 }
 
 void
-Kernel::replay(int d, Tick t)
+Kernel::replay(std::size_t d, Tick t)
 {
     DomainClock &c = *clocks[d];
     // Parked domains never ramp, so one voltage covers the span.
@@ -86,7 +86,7 @@ Kernel::chargeLeakage(Tick now)
 void
 Kernel::finish()
 {
-    for (int d = 0; d < NUM_SCALED_DOMAINS; ++d) {
+    for (std::size_t d = 0; d < clocks.size(); ++d) {
         if (parked_[d])
             replay(d, now_);
     }

@@ -124,7 +124,7 @@ class Kernel
     void wake(Domain d)
     {
         if (parked_[domainIndex(d)])
-            replay(static_cast<int>(domainIndex(d)), now_);
+            replay(domainIndex(d), now_);
     }
 
     /**
@@ -155,10 +155,10 @@ class Kernel
     {
         if (ff) {
             for (Domain d : scaledDomains())
-                tryPark(static_cast<int>(domainIndex(d)));
+                tryPark(domainIndex(d));
         }
         while (!stop(now_)) {
-            int best = nextEventDomain();
+            std::size_t best = nextEventDomain();
             DomainClock &c = *clocks[best];
             now_ = c.nextEdge();
             c.advance();
@@ -180,13 +180,13 @@ class Kernel
      * whose known wake time arrives first.  Ties go to the lowest
      * index, as in the monolithic min-scan.
      */
-    int
+    std::size_t
     nextEventDomain()
     {
         for (;;) {
-            int best = 0;
+            std::size_t best = 0;
             Tick best_t = scanKey(0);
-            for (int d = 1; d < NUM_SCALED_DOMAINS; ++d) {
+            for (std::size_t d = 1; d < clocks.size(); ++d) {
                 Tick t = scanKey(d);
                 if (t < best_t) {
                     best = d;
@@ -206,7 +206,7 @@ class Kernel
     }
 
     Tick
-    scanKey(int d) const
+    scanKey(std::size_t d) const
     {
         return parked_[d] ? wakeAt_[d] : clocks[d]->nextEdge();
     }
@@ -220,9 +220,9 @@ class Kernel
         return false;
     }
 
-    void tryPark(int d);
+    void tryPark(std::size_t d);
     /** Fast-forward a parked domain's clock to @p t and unpark it. */
-    void replay(int d, Tick t);
+    void replay(std::size_t d, Tick t);
     void chargeLeakage(Tick now);
     /** Catch parked clocks up to the final time after the run. */
     void finish();

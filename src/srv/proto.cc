@@ -2,8 +2,6 @@
 
 #include <cerrno>
 #include <cstdlib>
-#include <locale>
-#include <sstream>
 
 #include "util/text.hh"
 
@@ -441,15 +439,17 @@ formatOutcome(const control::Outcome &o)
     control::Outcome copy = o;
     double *vals[NUM_OUTCOME_FIELDS];
     outcomePtrs(copy, vals);
-    std::ostringstream os;
-    os.imbue(std::locale::classic());
-    os.precision(17);
+    // util::fmtDouble17 is the sanctioned double formatter for the
+    // wire: C-locale, 17 significant digits, byte-exact round-trips.
+    std::string out;
     for (std::size_t i = 0; i < NUM_OUTCOME_FIELDS; ++i) {
         if (i)
-            os << ' ';
-        os << OUTCOME_FIELDS[i] << '=' << *vals[i];
+            out += ' ';
+        out += OUTCOME_FIELDS[i];
+        out += '=';
+        out += util::fmtDouble17(*vals[i]);
     }
-    return os.str();
+    return out;
 }
 
 bool

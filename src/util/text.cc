@@ -20,6 +20,19 @@ fmtFixed(double v, int prec)
     return os.str();
 }
 
+std::string
+fmtDouble17(double v)
+{
+    // Identical bytes to `os << v` on a classic-locale stream with
+    // precision 17 (the format every existing cache line and ROW
+    // payload was written in): default floatfield == printf %.17g.
+    std::ostringstream os;
+    os.imbue(std::locale::classic());
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
 bool
 parseDouble(const std::string &text, double &v)
 {
@@ -74,8 +87,8 @@ std::uint64_t
 fnv1a64(const std::string &bytes)
 {
     std::uint64_t h = 1469598103934665603ULL;
-    for (unsigned char b : bytes)
-        h = (h ^ b) * 1099511628211ULL;
+    for (char c : bytes)
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
     return h;
 }
 

@@ -22,6 +22,18 @@ namespace mcd::util
  *  numeric spec parameters and of cache-key numbers). */
 std::string fmtFixed(double v, int prec);
 
+/**
+ * Locale-independent 17-significant-digit decimal (C-locale `%.17g`
+ * semantics): the one sanctioned way to write a double on a
+ * persisted or wire path — result-cache CSV lines, MCD/1 ROW
+ * payloads.  17 significant digits round-trip any IEEE-754 double
+ * exactly, and the classic locale guarantees '.' decimal points no
+ * matter what the embedding application did with setlocale().
+ * `mcd_lint` (rule `locale-safety`) bans ad-hoc stream precision
+ * fiddling on those paths in favour of this helper.
+ */
+std::string fmtDouble17(double v);
+
 /** Strict, locale-independent full-string double parse. */
 bool parseDouble(const std::string &text, double &v);
 

@@ -1,0 +1,19 @@
+// Miniature self-registering policy for mcd_lint's fixture tests.
+
+#include "control/policy.hh"
+
+namespace mcd::control
+{
+namespace
+{
+
+class ToyPolicy final : public Policy
+{
+  public:
+    const char *name() const override { return "toy"; }
+};
+
+MCD_REGISTER_POLICY(ToyPolicy);
+
+} // namespace
+} // namespace mcd::control

@@ -1,0 +1,21 @@
+// Miniature PowerConfig for mcd_lint's fixture tests.
+
+#ifndef FIX_POWER_POWER_HH
+#define FIX_POWER_POWER_HH
+
+#include <array>
+
+namespace mcd::power
+{
+
+struct PowerConfig
+{
+    std::array<double, 4> clockPj;
+    double vMax = 1.20;
+
+    PowerConfig();
+};
+
+} // namespace mcd::power
+
+#endif

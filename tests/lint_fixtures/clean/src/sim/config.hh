@@ -1,0 +1,31 @@
+// Miniature SimConfig for mcd_lint's fixture tests: the same shape
+// as the real src/sim/config.hh (data members, one deliberate
+// annotated exception, one method declaration), small enough that
+// golden findings stay readable.
+
+#ifndef FIX_SIM_CONFIG_HH
+#define FIX_SIM_CONFIG_HH
+
+#include <cstdint>
+
+namespace mcd::sim
+{
+
+using Tick = std::uint64_t;
+
+struct SimConfig
+{
+    int fetchWidth = 4;
+    double maxMhz = 1000.0;
+    std::uint64_t jitterSeed = 7777;
+
+    // mcd-lint: allow(fingerprint-complete): a tripped watchdog
+    // aborts before any outcome exists.
+    Tick watchdogPs = 400;
+
+    double voltageFor(double f) const;
+};
+
+} // namespace mcd::sim
+
+#endif

@@ -1,0 +1,21 @@
+// Miniature wire formatter for mcd_lint's fixture tests: a clean
+// MCD/1-style path that routes doubles through util::fmtDouble17,
+// the target of the locale-safety and determinism mutations.
+
+#include <string>
+
+#include "util/text.hh"
+
+namespace mcd::srv
+{
+
+std::string
+formatRow(const std::string &key, double timePs, double energyNj)
+{
+    std::string out = "ROW " + key;
+    out += " time_ps=" + util::fmtDouble17(timePs);
+    out += " energy_nj=" + util::fmtDouble17(energyNj);
+    return out;
+}
+
+} // namespace mcd::srv

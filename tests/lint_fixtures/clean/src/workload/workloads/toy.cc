@@ -1,0 +1,19 @@
+// Miniature self-registering workload for mcd_lint's fixture tests.
+
+#include "workload/registry.hh"
+
+namespace mcd::workload
+{
+namespace
+{
+
+class ToyWorkload final : public WorkloadFactory
+{
+  public:
+    const char *name() const override { return "toy"; }
+};
+
+MCD_REGISTER_WORKLOAD(ToyWorkload);
+
+} // namespace
+} // namespace mcd::workload

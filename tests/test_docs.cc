@@ -137,6 +137,35 @@ TEST(Docs, ServerDocCoversProtocolAndKnobs)
             << "' missing or stale";
 }
 
+TEST(Docs, LintingDocCoversEveryRule)
+{
+    // The three-way sync behind mcd_lint's `lint-docs` rule: this
+    // list, tools/mcd_lint.py RULES and the `## \`rule\`` sections
+    // of docs/LINTING.md must all name the same invariants.  Adding
+    // or retiring a rule without touching all three fails either
+    // here or in the lint itself.
+    const char *rules[] = {
+        "fingerprint-complete", "cache-version-pin", "determinism",
+        "locale-safety",        "registration",      "lint-docs",
+    };
+    std::string doc = readDoc("docs/LINTING.md");
+    std::string lint = readDoc("tools/mcd_lint.py");
+    for (const char *rule : rules) {
+        EXPECT_NE(doc.find("## `" + std::string(rule) + "`"),
+                  std::string::npos)
+            << "docs/LINTING.md lacks a section for lint rule '"
+            << rule << "'";
+        EXPECT_NE(lint.find("\"" + std::string(rule) + "\""),
+                  std::string::npos)
+            << "tools/mcd_lint.py no longer enforces rule '" << rule
+            << "' pinned here and in docs/LINTING.md";
+    }
+    // The suppression grammar documented in the doc is the one the
+    // tool parses.
+    EXPECT_NE(doc.find("mcd-lint: allow("), std::string::npos);
+    EXPECT_NE(doc.find("mcd-lint: allow-file("), std::string::npos);
+}
+
 TEST(Docs, WorkloadsDocGrammarSectionsExist)
 {
     std::string doc = readDoc("docs/WORKLOADS.md");

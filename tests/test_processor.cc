@@ -289,7 +289,8 @@ TEST(Processor, IntervalHookFiresAndControls)
     RunResult r = proc.run(20000);
     EXPECT_GE(hook.calls, 9);
     EXPECT_LE(hook.calls, 10);
-    EXPECT_EQ(hook.instrs, hook.calls * 2000u);
+    EXPECT_EQ(hook.instrs,
+              static_cast<std::uint64_t>(hook.calls) * 2000u);
     // The hook drove the FP domain down; avg freq reflects it.
     EXPECT_LT(r.avgFreq[static_cast<size_t>(Domain::FloatingPoint)],
               990.0);

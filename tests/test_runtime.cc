@@ -65,7 +65,7 @@ struct Driver
             if (item.kind != StreamItem::Kind::Marker)
                 continue;
             auto a = rt.onMarker(item.marker);
-            stall_cycles += a.stallCycles;
+            stall_cycles += static_cast<std::uint64_t>(a.stallCycles);
             if (a.reconfig)
                 reconfigs.push_back(a);
         }

@@ -670,11 +670,11 @@ TEST(ServerConcurrency, EightClientsByteIdenticalComputedOnce)
         referenceLines(cfg.exp, workloads, policies);
     ASSERT_EQ(ref.size(), 4u);
 
-    constexpr int kClients = 8;
+    constexpr std::size_t kClients = 8;
     std::vector<std::vector<std::string>> got(kClients);
     std::vector<std::string> errors(kClients);
     std::vector<std::thread> threads;
-    for (int t = 0; t < kClients; ++t) {
+    for (std::size_t t = 0; t < kClients; ++t) {
         threads.emplace_back([&, t] {
             try {
                 srv::Client client =
@@ -693,7 +693,7 @@ TEST(ServerConcurrency, EightClientsByteIdenticalComputedOnce)
     for (auto &th : threads)
         th.join();
 
-    for (int t = 0; t < kClients; ++t) {
+    for (std::size_t t = 0; t < kClients; ++t) {
         EXPECT_EQ(errors[t], "") << "client " << t;
         // Byte-identical to the serial jobs=1 in-process reference,
         // in the same workload-major order.

@@ -62,7 +62,7 @@ TEST(Shaker, HistogramMassMatchesEventCount)
     // Every scaled domain records non-negative cycles; FE records at
     // least fetch+dispatch+commit per instruction (3 cycles each).
     double fe = out.hist[0].totalCycles();
-    EXPECT_GE(fe, 3.0 * trace.size());
+    EXPECT_GE(fe, 3.0 * static_cast<double>(trace.size()));
 }
 
 TEST(Shaker, NoWorkBelowQuarterFrequency)
@@ -72,7 +72,7 @@ TEST(Shaker, NoWorkBelowQuarterFrequency)
     SegmentAnalyzer a(cfg);
     NodeHistograms out;
     a.analyze(trace, out);
-    for (int d = 0; d < NUM_SCALED_DOMAINS; ++d) {
+    for (std::size_t d = 0; d < out.hist.size(); ++d) {
         const auto &h = out.hist[d];
         for (int b = 0; b < h.steps().numSteps(); ++b) {
             if (h.binCycles(b) > 0.0) {

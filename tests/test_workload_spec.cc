@@ -53,8 +53,8 @@ TEST(WorkloadSpec, GrammarErrors)
 TEST(WorkloadRegistry, SuiteNamesCanonicalizeToThemselves)
 {
     // Load-bearing for cache compatibility: the bench field of a
-    // v5 cache key for a suite benchmark is the bare name, exactly
-    // as in v4.
+    // v6 cache key for a suite benchmark is the bare name, exactly
+    // as in v4/v5.
     for (const std::string &name : suiteNames())
         EXPECT_EQ(canonicalWorkloadSpec(name), name);
 }
