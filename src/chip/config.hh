@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Chip-level configuration: the shared-uncore knobs of the tiled
+ * many-core model (src/chip/).  Per-tile architectural parameters
+ * stay in sim::SimConfig — every tile is a full MCD core — and the
+ * tile count is not a knob at all: it is the length of the co-
+ * schedule (the `multi:` workload list), spelled per-cell in chip
+ * cache keys as `tiles=N`.
+ *
+ * Every field here shapes simulated outcomes, so every field joins
+ * `exp::configFingerprint()` (prefix `ch`, CACHE_VERSION v7) —
+ * enforced by tools/mcd_lint.py's fingerprint-complete rule.
+ */
+
+#ifndef MCD_CHIP_CONFIG_HH
+#define MCD_CHIP_CONFIG_HH
+
+#include "util/types.hh"
+
+namespace mcd::chip
+{
+
+/** Shared uncore/DRAM parameters of the tiled chip. */
+struct ChipConfig
+{
+    /**
+     * Shared-L2 port occupancy per lookup, in uncore cycles: each
+     * granted lookup holds the port for this long, so co-scheduled
+     * tiles queue behind each other.
+     */
+    int l2PortCycles = 1;
+
+    /** Uncore (shared-L2 port + DRAM queue) DVFS range, in MHz.
+     *  The coordinator policy moves the uncore frequency inside it;
+     *  without a coordinator the uncore runs at the maximum. */
+    Mhz uncoreMaxMhz = 1000.0;
+    Mhz uncoreMinMhz = 250.0;
+
+    /** Coordinator evaluation interval, in global simulated ps. */
+    Tick coordIntervalPs = 1'000'000;
+
+    /** Uncore clock-tree energy per uncore cycle (pJ at vMax). */
+    double uncoreClockPj = 200.0;
+
+    /** Uncore leakage power (W at vMax). */
+    double uncoreLeakW = 0.3;
+};
+
+} // namespace mcd::chip
+
+#endif // MCD_CHIP_CONFIG_HH

@@ -1,0 +1,138 @@
+#include "chip/multi.hh"
+
+#include <cctype>
+
+#include "util/logging.hh"
+#include "workload/registry.hh"
+#include "workload/spec.hh"
+
+namespace mcd::chip
+{
+
+namespace
+{
+
+/**
+ * Position of the next `,t<digits>=` tile-entry boundary at or
+ * after @p from, or npos.  This is what lets sub-specs contain `,`
+ * and `:` freely: only a comma that starts another tile assignment
+ * ends an entry.
+ */
+std::size_t
+nextTileBoundary(const std::string &s, std::size_t from)
+{
+    for (std::size_t j = from; j + 2 < s.size(); ++j) {
+        if (s[j] != ',' || s[j + 1] != 't')
+            continue;
+        std::size_t k = j + 2;
+        while (k < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[k])))
+            ++k;
+        if (k > j + 2 && k < s.size() && s[k] == '=')
+            return j;
+    }
+    return std::string::npos;
+}
+
+} // namespace
+
+std::vector<std::string>
+parseMultiSpec(const std::string &text, int tiles)
+{
+    const std::string prefix = "multi:";
+    if (text.compare(0, prefix.size(), prefix) != 0) {
+        // Plain workload spec: replicate across the tiles.
+        std::string canon = workload::canonicalWorkloadSpec(text);
+        int n = tiles > 0 ? tiles : 1;
+        return std::vector<std::string>(
+            static_cast<std::size_t>(n), canon);
+    }
+
+    std::string body = text.substr(prefix.size());
+    if (body.empty())
+        throw workload::SpecError(
+            "empty multi: co-schedule (expected "
+            "multi:t0=<workload>[,t1=...])");
+
+    std::vector<std::string> by_tile;
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+        std::size_t end = nextTileBoundary(body, pos);
+        std::string entry =
+            end == std::string::npos
+                ? body.substr(pos)
+                : body.substr(pos, end - pos);
+        pos = end == std::string::npos ? end : end + 1;
+
+        if (entry.size() < 3 || entry[0] != 't')
+            throw workload::SpecError(strprintf(
+                "bad multi: entry '%s' (expected t<index>=<workload>)",
+                entry.c_str()));
+        std::size_t eq = 1;
+        while (eq < entry.size() &&
+               std::isdigit(static_cast<unsigned char>(entry[eq])))
+            ++eq;
+        if (eq == 1 || eq >= entry.size() || entry[eq] != '=')
+            throw workload::SpecError(strprintf(
+                "bad multi: entry '%s' (expected t<index>=<workload>)",
+                entry.c_str()));
+        int idx = 0;
+        for (std::size_t i = 1; i < eq; ++i) {
+            idx = idx * 10 + (entry[i] - '0');
+            if (idx > 1024)
+                throw workload::SpecError(strprintf(
+                    "multi: tile index %s out of range",
+                    entry.substr(1, eq - 1).c_str()));
+        }
+        std::string sub = entry.substr(eq + 1);
+        if (sub.empty())
+            throw workload::SpecError(strprintf(
+                "multi: tile t%d has an empty workload spec", idx));
+
+        auto u = static_cast<std::size_t>(idx);
+        if (u >= by_tile.size())
+            by_tile.resize(u + 1);
+        if (!by_tile[u].empty())
+            throw workload::SpecError(strprintf(
+                "multi: tile t%d assigned twice", idx));
+        // Canonicalize through the registry so unknown workloads
+        // fail here with the registry listing, not mid-run.
+        by_tile[u] = workload::canonicalWorkloadSpec(sub);
+    }
+
+    for (std::size_t k = 0; k < by_tile.size(); ++k) {
+        if (by_tile[k].empty())
+            throw workload::SpecError(strprintf(
+                "multi: tile indices must be contiguous from t0 "
+                "(t%zu is missing among %zu entries)",
+                k, by_tile.size()));
+    }
+    if (tiles > 0 &&
+        by_tile.size() != static_cast<std::size_t>(tiles))
+        throw workload::SpecError(strprintf(
+            "multi: co-schedule names %zu tiles but the request "
+            "asks for %d",
+            by_tile.size(), tiles));
+    return by_tile;
+}
+
+std::string
+multiSpecOf(const std::vector<std::string> &tile_specs)
+{
+    std::string out = "multi:";
+    for (std::size_t k = 0; k < tile_specs.size(); ++k) {
+        if (k)
+            out += ',';
+        out += strprintf("t%zu=", k);
+        out += tile_specs[k];
+    }
+    return out;
+}
+
+std::string
+canonicalMultiSpec(const std::string &text, int tiles)
+{
+    return multiSpecOf(parseMultiSpec(text, tiles));
+}
+
+} // namespace mcd::chip

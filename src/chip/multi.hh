@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The `multi:` co-schedule grammar: one workload spec per tile,
+ *
+ *     multi:t0=<spec>,t1=<spec>[,t2=...]
+ *
+ * where each `<spec>` is any registered workload spec
+ * (`gsm_decode`, `gen:phases=4,seed=7`, `prog:...`).  Because
+ * nested specs themselves contain `:` and `,`, tile entries are
+ * delimited by the next `,t<digits>=` boundary rather than by bare
+ * commas.  Tile indices must be exactly 0..N-1 (any order, no
+ * duplicates); the canonical form lists them in tile order with
+ * each sub-spec canonicalized through the WorkloadRegistry, and is
+ * used verbatim in chip cache keys and on the wire.
+ *
+ * A plain (non-`multi:`) workload spec is also accepted wherever a
+ * co-schedule is: it replicates across all N tiles (a homogeneous
+ * co-schedule).
+ */
+
+#ifndef MCD_CHIP_MULTI_HH
+#define MCD_CHIP_MULTI_HH
+
+#include <string>
+#include <vector>
+
+namespace mcd::chip
+{
+
+/**
+ * Parse @p text into per-tile canonical workload specs.
+ *
+ * For a `multi:` spec, @p tiles must be 0 (derive the tile count
+ * from the entries) or equal to the entry count.  For a plain spec,
+ * @p tiles (>= 1; 0 means 1) copies of its canonical form are
+ * returned.  Throws workload::SpecError on malformed text, an
+ * unknown sub-workload, duplicate or non-contiguous tile indices,
+ * or a tile-count mismatch.
+ */
+std::vector<std::string> parseMultiSpec(const std::string &text,
+                                        int tiles = 0);
+
+/**
+ * Canonical co-schedule string for @p text at @p tiles tiles:
+ * `multi:t0=...,t1=...` (always the `multi:` form, even for one
+ * tile, so chip keys never collide with single-core keys).  Throws
+ * workload::SpecError as parseMultiSpec does.
+ */
+std::string canonicalMultiSpec(const std::string &text,
+                               int tiles = 0);
+
+/** Rebuild the canonical `multi:` string from per-tile canonical
+ *  specs (the inverse of parseMultiSpec). */
+std::string multiSpecOf(const std::vector<std::string> &tile_specs);
+
+} // namespace mcd::chip
+
+#endif // MCD_CHIP_MULTI_HH

@@ -1,0 +1,124 @@
+#include "chip/uncore.hh"
+
+#include <algorithm>
+
+namespace mcd::chip
+{
+
+Uncore::Uncore(const ChipConfig &c, const sim::SimConfig &s,
+               power::PowerModel &p, int tiles)
+    : cfg(c), sim(s), power(p), mhz(c.uncoreMaxMhz),
+      tileDram(static_cast<std::size_t>(tiles), 0)
+{
+}
+
+Tick
+Uncore::l2ServicePs() const
+{
+    return static_cast<Tick>(cfg.l2PortCycles) * periodPs(mhz);
+}
+
+Tick
+Uncore::dramSlotPs() const
+{
+    // The DRAM queue drains at the uncore frequency: the bus slot
+    // stretches as the uncore slows (array latency stays fixed —
+    // DRAM itself is external and unscaled, as in the paper).
+    double scale = cfg.uncoreMaxMhz / mhz;
+    return static_cast<Tick>(
+        static_cast<double>(sim.memBusPs) * scale + 0.5);
+}
+
+Volt
+Uncore::voltage() const
+{
+    // Linear XScale-like mapping over the uncore's own range,
+    // mirroring SimConfig::voltageFor for the core domains.
+    if (cfg.uncoreMaxMhz <= cfg.uncoreMinMhz)
+        return sim.maxVolt;
+    double fr = (mhz - cfg.uncoreMinMhz) /
+                (cfg.uncoreMaxMhz - cfg.uncoreMinMhz);
+    return sim.minVolt + fr * (sim.maxVolt - sim.minVolt);
+}
+
+void
+Uncore::chargeTo(Tick now)
+{
+    if (now <= lastChargeTime)
+        return;
+    Tick dt = now - lastChargeTime;
+    Volt v = voltage();
+    double vr = v / power.config().vMax;
+    // Clock tree: cycles over the span at the (constant) frequency,
+    // each at V^2-scaled per-cycle energy.
+    double cycles = static_cast<double>(dt) * mhz * 1e-6;
+    double pj = cfg.uncoreClockPj * vr * vr * cycles;
+    // Leakage: W at vMax, linear in V, over dt ps (1 W = 1 pJ/ps).
+    pj += cfg.uncoreLeakW * vr * static_cast<double>(dt);
+    power.extra(Domain::Memory, pj);
+    freqTimeIntegral += mhz * static_cast<double>(dt);
+    lastChargeTime = now;
+}
+
+Tick
+Uncore::l2PortGrant(int tile, Tick t)
+{
+    (void)tile;
+    Tick grant = std::max(t, l2PortFreeAt);
+    l2PortFreeAt = grant + l2ServicePs();
+    ++interval.l2Grants;
+    ++total.l2Grants;
+    interval.l2QueuedPs += grant - t;
+    total.l2QueuedPs += grant - t;
+    return grant;
+}
+
+Tick
+Uncore::dramAccess(int tile, Tick t)
+{
+    Tick grant = std::max(t, dramFreeAt);
+    dramFreeAt = grant + dramSlotPs();
+    ++interval.dramAccesses;
+    ++total.dramAccesses;
+    interval.dramQueuedPs += grant - t;
+    total.dramQueuedPs += grant - t;
+    ++tileDram[static_cast<std::size_t>(tile)];
+    return grant + sim.memLatencyPs;
+}
+
+bool
+Uncore::setFreq(Mhz f, Tick now)
+{
+    f = std::min(cfg.uncoreMaxMhz, std::max(cfg.uncoreMinMhz, f));
+    if (f == mhz)
+        return false;
+    chargeTo(now);
+    mhz = f;
+    return true;
+}
+
+void
+Uncore::finish(Tick now)
+{
+    chargeTo(now);
+    endTime = now;
+}
+
+UncoreStats
+Uncore::intervalStats(bool reset)
+{
+    UncoreStats s = interval;
+    if (reset)
+        interval = UncoreStats();
+    return s;
+}
+
+Mhz
+Uncore::averageFreq() const
+{
+    if (endTime == 0)
+        return mhz;
+    return freqTimeIntegral / static_cast<double>(endTime);
+}
+
+} // namespace mcd::chip

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The chip-wide shared uncore: the single L2 port every tile's L2
+ * lookups arbitrate for, and the DRAM queue their L2 misses share.
+ * Both are fluid-frequency servers — the chip-level coordinator
+ * policy moves one uncore frequency that scales the L2-port service
+ * time and the DRAM bus slot together — and both are the coupling
+ * that makes co-scheduled tiles interfere.
+ *
+ * Arbitration is first-come-first-served in global event order: the
+ * chip steps tiles in global-time order with ties broken by tile
+ * index (then domain index inside the tile), so same-instant
+ * requests are granted in tile order and the grant sequence is
+ * deterministic for a fixed seed.
+ *
+ * Energy: per-access L2/DRAM unit energy is charged by the
+ * requesting tile's own PowerModel (same as single-core).  The
+ * uncore adds only the shared-fabric energy — clock tree (f · V²)
+ * and leakage (V · t) in closed form at frequency-change boundaries
+ * — through its own power::PowerModel via extra().
+ */
+
+#ifndef MCD_CHIP_UNCORE_HH
+#define MCD_CHIP_UNCORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "chip/config.hh"
+#include "power/power.hh"
+#include "sim/config.hh"
+#include "sim/processor.hh"
+#include "util/types.hh"
+
+namespace mcd::chip
+{
+
+/** Occupancy counters the coordinator aggregates over an interval. */
+struct UncoreStats
+{
+    std::uint64_t l2Grants = 0;
+    Tick l2QueuedPs = 0;    ///< total grant-minus-arrival wait
+    std::uint64_t dramAccesses = 0;
+    Tick dramQueuedPs = 0;
+};
+
+class Uncore : public sim::SharedMemSide
+{
+  public:
+    Uncore(const ChipConfig &ccfg, const sim::SimConfig &scfg,
+           power::PowerModel &power, int tiles);
+
+    Tick l2PortGrant(int tile, Tick t) override;
+    Tick dramAccess(int tile, Tick t) override;
+
+    /** Current uncore frequency. */
+    Mhz freq() const { return mhz; }
+
+    /**
+     * Coordinator write: charge fabric energy up to @p now at the
+     * old operating point, then switch to @p f (clamped to the
+     * ChipConfig range).  Returns true if the frequency changed.
+     */
+    bool setFreq(Mhz f, Tick now);
+
+    /** Charge fabric energy through the end of the run. */
+    void finish(Tick now);
+
+    /** Counters accumulated since the last snapshot (coordinator
+     *  interval); @p reset starts the next interval. */
+    UncoreStats intervalStats(bool reset);
+
+    /** Whole-run counters. */
+    const UncoreStats &totals() const { return total; }
+
+    /** Whole-run per-tile DRAM request counts. */
+    const std::vector<std::uint64_t> &tileDramAccesses() const
+    {
+        return tileDram;
+    }
+
+    /** Time-weighted average uncore frequency over the run (valid
+     *  after finish()). */
+    Mhz averageFreq() const;
+
+  private:
+    Tick l2ServicePs() const;
+    Tick dramSlotPs() const;
+    Volt voltage() const;
+    void chargeTo(Tick now);
+
+    ChipConfig cfg;
+    const sim::SimConfig &sim;
+    power::PowerModel &power;
+    Mhz mhz;
+    Tick l2PortFreeAt = 0;
+    Tick dramFreeAt = 0;
+    Tick lastChargeTime = 0;
+    double freqTimeIntegral = 0.0;  ///< MHz * ps
+    Tick endTime = 0;
+    UncoreStats interval;
+    UncoreStats total;
+    std::vector<std::uint64_t> tileDram;
+};
+
+} // namespace mcd::chip
+
+#endif // MCD_CHIP_UNCORE_HH

@@ -47,6 +47,18 @@ class BaselinePolicy final : public Policy
         o.energyNj = r.chipEnergyNj;
         return o;
     }
+
+    bool
+    makeTileController(const PolicySpec &, const PolicyContext &,
+                       std::unique_ptr<sim::IntervalHook> *hook,
+                       std::uint64_t *interval_instrs) const override
+    {
+        // Max speed needs no callbacks: a tile with no hook runs all
+        // domains at the initial (maximum) frequency.
+        hook->reset();
+        *interval_instrs = 0;
+        return true;
+    }
 };
 
 } // namespace

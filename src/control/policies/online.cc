@@ -17,6 +17,18 @@ namespace
 class OnlinePolicy final : public Policy
 {
   public:
+    static OnlineConfig
+    configFor(const PolicySpec &spec, const PolicyContext &ctx)
+    {
+        OnlineConfig oc;
+        oc.aggressiveness = spec.num("aggr");
+        oc.intIqSize = ctx.sim.intIqSize;
+        oc.fpIqSize = ctx.sim.fpIqSize;
+        oc.lsqSize = ctx.sim.lsqSize;
+        oc.robSize = ctx.sim.robSize;
+        return oc;
+    }
+
     const char *
     name() const override
     {
@@ -47,12 +59,7 @@ class OnlinePolicy final : public Policy
         const PolicyContext &ctx) const override
     {
         workload::Benchmark bm = workload::makeBenchmark(bench);
-        OnlineConfig oc;
-        oc.aggressiveness = spec.num("aggr");
-        oc.intIqSize = ctx.sim.intIqSize;
-        oc.fpIqSize = ctx.sim.fpIqSize;
-        oc.lsqSize = ctx.sim.lsqSize;
-        oc.robSize = ctx.sim.robSize;
+        OnlineConfig oc = configFor(spec, ctx);
         AttackDecayController ctl(oc, ctx.sim);
         sim::Processor proc(ctx.sim, ctx.power, bm.program, bm.ref);
         proc.setIntervalHook(&ctl, oc.intervalInstrs);
@@ -62,6 +69,18 @@ class OnlinePolicy final : public Policy
         res.energyNj = r.chipEnergyNj;
         res.reconfigs = static_cast<double>(r.reconfigs);
         return res;
+    }
+
+    bool
+    makeTileController(const PolicySpec &spec,
+                       const PolicyContext &ctx,
+                       std::unique_ptr<sim::IntervalHook> *hook,
+                       std::uint64_t *interval_instrs) const override
+    {
+        OnlineConfig oc = configFor(spec, ctx);
+        *hook = std::make_unique<AttackDecayController>(oc, ctx.sim);
+        *interval_instrs = oc.intervalInstrs;
+        return true;
     }
 };
 

@@ -258,8 +258,16 @@ PolicyRegistry::list() const
     std::lock_guard<std::mutex> l(i.m);
     std::vector<const Policy *> out;
     out.reserve(i.policies.size());
-    for (const auto &kv : i.policies)  // std::map: name-sorted
+    for (const auto &kv : i.policies)
         out.push_back(kv.second.get());
+    // The name-sorted order is a contract, not a side effect of the
+    // Impl container: `--list-policies` output, unknown-spec error
+    // listings and docs pins all diff against it (see
+    // tests/test_chip.cc, Registries.ListingsAreNameSorted).
+    std::sort(out.begin(), out.end(),
+              [](const Policy *a, const Policy *b) {
+                  return std::strcmp(a->name(), b->name()) < 0;
+              });
     return out;
 }
 

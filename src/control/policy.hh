@@ -37,6 +37,7 @@
 #include "core/calltree.hh"
 #include "power/power.hh"
 #include "sim/config.hh"
+#include "sim/trace.hh"
 #include "util/stats.hh"
 #include "util/text.hh"
 
@@ -236,6 +237,25 @@ class Policy
     virtual Outcome run(const std::string &bench,
                         const PolicySpec &spec,
                         const PolicyContext &ctx) const = 0;
+
+    /**
+     * Per-tile capability: build a fresh interval controller that
+     * drives one tile of a `chip::Chip` under this policy.  Policies
+     * that can run per-tile return true and fill @p hook (may stay
+     * null for policies that need no callbacks, e.g. the max-speed
+     * baseline) and @p interval_instrs (its firing interval; 0 with
+     * a null hook).  The default is false: the chip layer rejects
+     * the spec with a message naming the tile-capable policies.
+     * Each call must return an independent controller — tiles do not
+     * share state.
+     */
+    virtual bool
+    makeTileController(const PolicySpec &, const PolicyContext &,
+                       std::unique_ptr<sim::IntervalHook> *,
+                       std::uint64_t *) const
+    {
+        return false;
+    }
 };
 
 /**

@@ -6,10 +6,12 @@
 #include <fstream>
 #include <thread>
 
+#include "chip/multi.hh"
 #include "util/logging.hh"
 #include "util/pool.hh"
 #include "util/text.hh"
 #include "workload/registry.hh"
+#include "workload/spec.hh"
 
 namespace mcd::exp
 {
@@ -35,9 +37,12 @@ namespace
  *  `fingerprint-complete` walks the config structs, and rule
  *  `cache-version-pin` pins the hashed-field digest to this
  *  version (tools/mcd_lint_pins.json) so any fingerprint-affecting
- *  diff must bump CACHE_VERSION.  (History table:
- *  docs/ARCHITECTURE.md, layer 7.) */
-constexpr int CACHE_VERSION = 6;
+ *  diff must bump CACHE_VERSION.  v7: the chip::ChipConfig uncore
+ *  knobs joined the fingerprint (chip sweep cells — `tile=` keys —
+ *  depend on the shared L2-port/DRAM servers and the coordinator
+ *  interval; single-core keys pay a one-time re-shuffle).  (History
+ *  table: docs/ARCHITECTURE.md, layer 7.) */
+constexpr int CACHE_VERSION = 7;
 
 /** Numeric payload fields per cache line (after the key). */
 constexpr std::size_t NUM_LINE_FIELDS = 11;
@@ -210,6 +215,14 @@ configFingerprint(const ExpConfig &cfg)
         f.f64(v);
 
     f.u64(cfg.profileMaxInstrs);
+
+    const chip::ChipConfig &ch = cfg.chip;
+    f.i64(ch.l2PortCycles);
+    f.f64(ch.uncoreMaxMhz);
+    f.f64(ch.uncoreMinMhz);
+    f.u64(ch.coordIntervalPs);
+    f.f64(ch.uncoreClockPj);
+    f.f64(ch.uncoreLeakW);
     return f.h;
 }
 
@@ -564,6 +577,150 @@ Runner::run(const std::string &bench,
     if (policy->relativeToBaseline())
         o.metrics = vsBaseline(canonBench, o);
     return o;
+}
+
+std::vector<std::string>
+Runner::resolveChip(const ChipCell &cell, control::PolicySpec &canon,
+                    std::vector<std::string> &tile_specs,
+                    chip::CoordConfig &coord,
+                    const control::Policy *&policy) const
+{
+    tile_specs = chip::parseMultiSpec(cell.workload, cell.tiles);
+    coord = chip::parseCoordSpec(cell.coord);
+
+    const control::PolicyRegistry &reg =
+        control::PolicyRegistry::instance();
+    canon = cell.tilePolicy;
+    std::string err;
+    // Chip cells can arrive over the wire (SWEEP tiles=...), so a
+    // bad tile policy must stay catchable — throw instead of the
+    // single-core resolve()'s fatal().
+    if (!reg.canonicalize(canon, err))
+        throw workload::SpecError(err);
+    policy = reg.find(canon.policy);
+
+    std::unique_ptr<sim::IntervalHook> probe;
+    std::uint64_t probe_instrs = 0;
+    if (!policy->makeTileController(canon, ctx, &probe,
+                                    &probe_instrs)) {
+        std::string capable;
+        for (const control::Policy *p : reg.list()) {
+            control::PolicySpec s =
+                control::PolicySpec::of(p->name());
+            std::string e2;
+            std::unique_ptr<sim::IntervalHook> h;
+            std::uint64_t ni = 0;
+            if (reg.canonicalize(s, e2) &&
+                p->makeTileController(s, ctx, &h, &ni)) {
+                if (!capable.empty())
+                    capable += ", ";
+                capable += p->name();
+            }
+        }
+        throw workload::SpecError(strprintf(
+            "policy '%s' cannot drive chip tiles per-tile; "
+            "tile-capable policies: %s",
+            canon.policy.c_str(), capable.c_str()));
+    }
+
+    std::string multi = chip::multiSpecOf(tile_specs);
+    std::string coord_part =
+        coord.enabled ? coord.canonSpec : "coord=off";
+    std::string context = policy->contextKey(ctx);
+    std::size_t n = tile_specs.size();
+    std::vector<std::string> keys;
+    for (std::size_t k = 0; k <= n; ++k) {
+        std::string row = k < n ? strprintf("tile=%zu", k)
+                                : std::string("tile=u");
+        keys.push_back(strprintf(
+            "%s|chip:tiles=%zu,%s|%s|%s|%s|%s",
+            keyPrefix().c_str(), n, row.c_str(), coord_part.c_str(),
+            canon.str().c_str(), multi.c_str(), context.c_str()));
+    }
+    return keys;
+}
+
+std::vector<std::string>
+Runner::chipCacheKeys(const ChipCell &cell) const
+{
+    control::PolicySpec canon;
+    std::vector<std::string> tile_specs;
+    chip::CoordConfig coord;
+    const control::Policy *policy = nullptr;
+    return resolveChip(cell, canon, tile_specs, coord, policy);
+}
+
+std::vector<Outcome>
+Runner::runChip(const ChipCell &cell, std::vector<bool> *row_hits)
+{
+    control::PolicySpec canon;
+    std::vector<std::string> tile_specs;
+    chip::CoordConfig coord;
+    const control::Policy *policy = nullptr;
+    std::vector<std::string> keys =
+        resolveChip(cell, canon, tile_specs, coord, policy);
+    std::size_t n = tile_specs.size();
+
+    // Lazy whole-chip simulation shared by all N+1 row keys: the
+    // first row the memo misses runs the chip, later misses of this
+    // call reuse the result, and a call whose rows are all cached
+    // never simulates.  A partially-cached chip (e.g. a truncated
+    // CSV) recomputes the whole chip once — it is deterministic, so
+    // the recomputed rows equal the cached ones.
+    std::shared_ptr<chip::ChipResult> res;
+    auto chipResult = [&]() -> const chip::ChipResult & {
+        if (!res) {
+            chip::Chip c(cfg.chip, cfg.sim, cfg.power, tile_specs);
+            std::vector<std::unique_ptr<sim::IntervalHook>> hooks(n);
+            for (std::size_t k = 0; k < n; ++k) {
+                std::uint64_t instrs = 0;
+                if (!policy->makeTileController(canon, ctx, &hooks[k],
+                                                &instrs))
+                    fatal("policy '%s' lost its tile capability "
+                          "between resolve and run",
+                          canon.policy.c_str());
+                if (hooks[k])
+                    c.setTileHook(static_cast<int>(k),
+                                  hooks[k].get(), instrs);
+            }
+            c.setCoordinator(coord);
+            res = std::make_shared<chip::ChipResult>(
+                c.run(ctx.productionWindow));
+        }
+        return *res;
+    };
+
+    std::vector<Outcome> out;
+    if (row_hits)
+        row_hits->clear();
+    for (std::size_t k = 0; k <= n; ++k) {
+        bool computed = false;
+        out.push_back(memoize(keys[k], [&]() -> Outcome {
+            const chip::ChipResult &r = chipResult();
+            Outcome o;
+            if (k < n) {
+                // Mirror the tile policies' own single-core Outcome
+                // mapping (timePs/energyNj/reconfigs), so an N=1
+                // chip row prints byte-identically to the same
+                // policy's single-core resultLine — the CI
+                // equivalence gate diffs exactly that.
+                const sim::RunResult &t = r.tiles[k];
+                o.timePs = static_cast<double>(t.timePs);
+                o.energyNj = t.chipEnergyNj;
+                o.reconfigs = static_cast<double>(t.reconfigs);
+            } else {
+                o.timePs = static_cast<double>(r.timePs);
+                o.energyNj = r.uncoreEnergyNj;
+                o.reconfigs =
+                    static_cast<double>(r.uncoreReconfigs);
+                o.globalFreq = r.uncoreAvgMhz;
+            }
+            return o;
+        }, &computed));
+        if (row_hits)
+            row_hits->push_back(!computed);
+    }
+    return out;
 }
 
 Outcome

@@ -44,6 +44,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chip/chip.hh"
+#include "chip/config.hh"
 #include "control/policy.hh"
 #include "core/pipeline.hh"
 #include "power/power.hh"
@@ -97,6 +99,10 @@ struct ExpConfig
     // results are independent of the thread count (CI pins --jobs 1
     // vs --jobs N identity).
     unsigned jobs = 0;
+    /** Shared-uncore knobs for chip cells (src/chip/config.hh); all
+     *  of them join the fingerprint, so chip sweep cells run with a
+     *  different uncore never share cache lines. */
+    chip::ChipConfig chip;
 
     ExpConfig()
     {
@@ -137,6 +143,9 @@ struct SweepCell
                         const std::string &spec_text);
 
     // Deprecated shims for the old closed policy set; prefer of().
+    // (Chip runs use ChipCell below, not SweepCell: a chip cell
+    // produces one outcome per tile plus an uncore row, so it does
+    // not fit the one-cell-one-outcome sweep contract.)
     // There is deliberately no global() shim: the enum-era global
     // cell read the runner's `ExpConfig::d` at run time, which a
     // spec built ahead of time cannot reproduce — build it
@@ -147,6 +156,27 @@ struct SweepCell
                              double d);
     static SweepCell offline(std::string bench, double d);
     static SweepCell online(std::string bench, double aggressiveness);
+};
+
+/**
+ * One co-scheduled run of a tiled chip (chip::Chip): a co-schedule
+ * (`multi:` or a plain spec replicated over @p tiles), the per-tile
+ * policy every tile runs (must be tile-capable — see
+ * `control::Policy::makeTileController()`), and an optional
+ * `chip-coord:` coordinator spec for the shared uncore.
+ */
+struct ChipCell
+{
+    /** Co-schedule: `multi:t0=...,t1=...` or a plain workload spec
+     *  replicated across the tiles. */
+    std::string workload;
+    /** Tile count; for a `multi:` workload 0 means "as named". */
+    int tiles = 0;
+    /** Per-tile policy (default: the MCD baseline, max speed). */
+    control::PolicySpec tilePolicy = control::PolicySpec::of("baseline");
+    /** Chip coordinator spec (`chip-coord:...`); "" = uncore pinned
+     *  at its maximum frequency. */
+    std::string coord;
 };
 
 /**
@@ -197,6 +227,33 @@ class Runner
      */
     Outcome run(const std::string &bench,
                 const control::PolicySpec &spec, bool *memo_hit);
+
+    /**
+     * Run a co-scheduled chip cell: N tiles under one per-tile
+     * policy with the shared uncore coupling them.  Returns N+1
+     * outcomes — index k < N is tile k, mirroring that policy's own
+     * single-core Outcome mapping (timePs/energyNj/reconfigs), index
+     * N is the uncore summary row (global end time, shared-fabric
+     * energy, coordinator reconfig count, average uncore MHz in
+     * globalFreq).  Each row memoizes under its own `tile=` cache
+     * key (see chipCacheKeys()), so a chip cell whose rows are all
+     * cached is served without simulating; a partial cache
+     * recomputes the whole (deterministic) chip once.  When
+     * @p row_hits is non-null it receives one memo-hit flag per row.
+     * Throws workload::SpecError on a bad co-schedule or coordinator
+     * spec, or a per-tile policy that is not tile-capable.
+     */
+    std::vector<Outcome> runChip(const ChipCell &cell,
+                                 std::vector<bool> *row_hits =
+                                     nullptr);
+
+    /**
+     * The N+1 memo/CSV cache keys of a chip cell, tile rows then the
+     * uncore row: `v<CACHE_VERSION>|c<fingerprint>|chip:tiles=N,
+     * tile=<k|u>|<coord spec or coord=off>|<tile policy spec>|
+     * <canonical multi spec>|<tile policy context key>`.
+     */
+    std::vector<std::string> chipCacheKeys(const ChipCell &cell) const;
 
     // ------------------------------------------------------------ //
     // Deprecated entry points for the old closed policy set.  Thin  //
@@ -279,6 +336,14 @@ class Runner
                         control::PolicySpec &canon,
                         std::string &canonBench,
                         const control::Policy *&policy) const;
+    /** Canonicalize a chip cell — co-schedule, tile policy (must be
+     *  tile-capable), coordinator — and build its N+1 keys.  Throws
+     *  workload::SpecError on any bad part. */
+    std::vector<std::string>
+    resolveChip(const ChipCell &cell, control::PolicySpec &canon,
+                std::vector<std::string> &tile_specs,
+                chip::CoordConfig &coord,
+                const control::Policy *&policy) const;
     Outcome memoize(const std::string &key,
                     const std::function<Outcome()> &compute,
                     bool *computed = nullptr);

@@ -193,13 +193,14 @@ ExecDomain::tryIssue(Tick now, std::uint64_t seq)
                 u.l1Miss = true;
                 ++p.l1dMissCount;
                 p.power_.access(power::Unit::L2, mem_v);
-                t += static_cast<Tick>(p.cfg.l2Latency) * period;
+                t = p.l2PortGrant(t) +
+                    static_cast<Tick>(p.cfg.l2Latency) * period;
                 if (!p.l2.access(u.di.addr)) {
                     u.l2Miss = true;
                     ++p.l2MissCount;
                     p.power_.access(power::Unit::Dram,
                                     p.power_.config().vMax);
-                    t = p.memory.access(t) +
+                    t = p.memAccess(t) +
                         p.syncMargin(Domain::External, Domain::Memory);
                 }
             }

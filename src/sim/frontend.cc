@@ -146,12 +146,13 @@ Frontend::fetch(Tick now)
                     p.syncMargin(Domain::FrontEnd, Domain::Memory);
                 Volt mem_v = p.clock(Domain::Memory).voltage();
                 p.power_.access(power::Unit::L2, mem_v);
-                lat += static_cast<Tick>(p.cfg.l2Latency) *
-                       p.clock(Domain::Memory).period();
+                lat = (p.l2PortGrant(now + lat) - now) +
+                      static_cast<Tick>(p.cfg.l2Latency) *
+                          p.clock(Domain::Memory).period();
                 if (!p.l2.access(di.pc)) {
                     p.power_.access(power::Unit::Dram,
                                     p.power_.config().vMax);
-                    Tick t_mem = p.memory.access(now + lat);
+                    Tick t_mem = p.memAccess(now + lat);
                     lat = (t_mem - now);
                 }
                 lat += p.syncMargin(Domain::Memory, Domain::FrontEnd);
@@ -331,11 +332,12 @@ Frontend::commit(Tick now)
             if (!p.l1d.access(u.di.addr)) {
                 ++p.l1dMissCount;
                 p.power_.access(power::Unit::L2, mem_v);
+                Tick l2_start = p.l2PortGrant(now);
                 if (!p.l2.access(u.di.addr)) {
                     ++p.l2MissCount;
                     p.power_.access(power::Unit::Dram,
                                     p.power_.config().vMax);
-                    p.memory.access(now);
+                    p.memAccess(l2_start);
                 }
             }
             if (!p.storeSeqs.empty() && p.storeSeqs.front() == u.seq)

@@ -153,26 +153,60 @@ class Kernel
     Tick
     run(StopFn &&stop, PostFn &&post)
     {
-        if (ff) {
-            for (Domain d : scaledDomains())
-                tryPark(domainIndex(d));
-        }
+        prologue();
         while (!stop(now_)) {
-            std::size_t best = nextEventDomain();
-            DomainClock &c = *clocks[best];
-            now_ = c.nextEdge();
-            c.advance();
-            Domain dom = static_cast<Domain>(best);
-            power.clockCycle(dom, c.voltage());
-            chargeLeakage(now_);
-            comps[best]->tick(now_);
-            if (ff)
-                tryPark(best);
+            stepOne();
             post(now_);
         }
         finish();
         return now_;
     }
+
+    // --- step-wise driving surface ---
+    //
+    // run() is implemented on exactly these four calls; an external
+    // scheduler (the chip layer interleaves several cores' kernels
+    // in global time order) that drives prologue / stepOne / finish
+    // in the same order is therefore bit-identical to run().
+
+    /** Prologue of run(): park every idle domain (fast-forward on). */
+    void
+    prologue()
+    {
+        if (ff) {
+            for (Domain d : scaledDomains())
+                tryPark(domainIndex(d));
+        }
+    }
+
+    /**
+     * Time of the globally next edge, without consuming it.  May
+     * replay a parked domain whose known wake time arrives before
+     * any live edge — that replay is pure catch-up accounting and
+     * would happen identically inside the next stepOne(), so peeking
+     * early never changes the edge schedule or any counter.
+     */
+    Tick peekNextTime() { return clocks[nextEventDomain()]->nextEdge(); }
+
+    /** Consume and process exactly one edge; returns the new time. */
+    Tick
+    stepOne()
+    {
+        std::size_t best = nextEventDomain();
+        DomainClock &c = *clocks[best];
+        now_ = c.nextEdge();
+        c.advance();
+        Domain dom = static_cast<Domain>(best);
+        power.clockCycle(dom, c.voltage());
+        chargeLeakage(now_);
+        comps[best]->tick(now_);
+        if (ff)
+            tryPark(best);
+        return now_;
+    }
+
+    /** Epilogue of run(): catch parked clocks up to the final time. */
+    void finish();
 
   private:
     /**
@@ -224,8 +258,6 @@ class Kernel
     /** Fast-forward a parked domain's clock to @p t and unpark it. */
     void replay(std::size_t d, Tick t);
     void chargeLeakage(Tick now);
-    /** Catch parked clocks up to the final time after the run. */
-    void finish();
 
     const SimConfig &cfg;
     power::PowerModel &power;

@@ -132,32 +132,43 @@ Processor::operandReady(std::uint64_t producer_seq, Domain d,
 RunResult
 Processor::run(std::uint64_t max_instrs)
 {
-    maxInstrs_ = max_instrs;
-    Tick last_progress_check = 0;
-    std::uint64_t last_progress_instrs = 0;
+    beginRun(max_instrs);
+    while (!runDone())
+        stepEdge();
+    return finishRun();
+}
 
-    Tick end = kernel.run(
-        [this](Tick) {
-            bool fetch_exhausted = streamEnded ||
-                                   fetchedInstrs >= maxInstrs_;
-            return fetch_exhausted && rob.empty() &&
-                   fetchQueue.empty();
-        },
-        [&](Tick now) {
-            if (now - last_progress_check > cfg.watchdogPs) {
-                if (committedInstrs == last_progress_instrs)
-                    panic("no commit progress for %llu ps at t=%llu "
-                          "(rob=%zu fq=%zu committed=%llu)",
-                          static_cast<unsigned long long>(
-                              cfg.watchdogPs),
-                          static_cast<unsigned long long>(now),
-                          rob.size(), fetchQueue.size(),
-                          static_cast<unsigned long long>(
-                              committedInstrs));
-                last_progress_check = now;
-                last_progress_instrs = committedInstrs;
-            }
-        });
+void
+Processor::beginRun(std::uint64_t max_instrs)
+{
+    maxInstrs_ = max_instrs;
+    watchdogLastCheck = 0;
+    watchdogLastInstrs = 0;
+    kernel.prologue();
+}
+
+void
+Processor::stepEdge()
+{
+    Tick now = kernel.stepOne();
+    if (now - watchdogLastCheck > cfg.watchdogPs) {
+        if (committedInstrs == watchdogLastInstrs)
+            panic("no commit progress for %llu ps at t=%llu "
+                  "(rob=%zu fq=%zu committed=%llu)",
+                  static_cast<unsigned long long>(cfg.watchdogPs),
+                  static_cast<unsigned long long>(now),
+                  rob.size(), fetchQueue.size(),
+                  static_cast<unsigned long long>(committedInstrs));
+        watchdogLastCheck = now;
+        watchdogLastInstrs = committedInstrs;
+    }
+}
+
+RunResult
+Processor::finishRun()
+{
+    kernel.finish();
+    Tick end = kernel.now();
 
     RunResult r;
     r.timePs = lastCommitTime ? lastCommitTime : end;
@@ -174,7 +185,7 @@ Processor::run(std::uint64_t max_instrs)
     r.l1dMisses = l1dMissCount;
     r.l2Misses = l2MissCount;
     r.icacheMisses = icacheMissCount;
-    r.dramAccesses = memory.requests();
+    r.dramAccesses = dramAccessCount;
     r.reconfigs = reconfigCount;
     r.overheadCycles = overheadCycleCount;
     r.ffEdges = kernel.fastForwardedEdges();

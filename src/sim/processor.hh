@@ -43,6 +43,32 @@ namespace mcd::sim
 {
 
 /**
+ * Chip-level shared memory side.  When installed (by the chip layer,
+ * src/chip/), a core's L2 lookups first win the shared L2 port and
+ * its L2 misses go through the shared DRAM queue, so co-scheduled
+ * cores contend for both.  When not installed — the default, and
+ * always for a single core — the core owns its memory side privately
+ * and the timing below is byte-identical to the pre-chip simulator.
+ */
+class SharedMemSide
+{
+  public:
+    virtual ~SharedMemSide() = default;
+
+    /**
+     * Arbitrate the shared L2 port for @p tile's lookup arriving at
+     * @p t; returns the grant time (>= t) at which the lookup starts.
+     */
+    virtual Tick l2PortGrant(int tile, Tick t) = 0;
+
+    /**
+     * Enqueue a DRAM request from @p tile at time @p t; returns the
+     * data-return time.
+     */
+    virtual Tick dramAccess(int tile, Tick t) = 0;
+};
+
+/**
  * Processor facade: constructs the microarchitecture, runs a
  * workload stream under optional observation/control hooks, and
  * reports time and energy.
@@ -80,6 +106,53 @@ class Processor : public DvfsControl
      * ends), then drain the pipeline.
      */
     RunResult run(std::uint64_t max_instrs);
+
+    // --- step-wise run surface ---
+    //
+    // run() is exactly beginRun(n); while (!runDone()) stepEdge();
+    // finishRun().  The chip layer drives several cores through
+    // these calls in global time order, so one core under a chip
+    // executes the same code path as run() — the N=1 equivalence is
+    // structural, not maintained in parallel.
+
+    /** Arm a run: set the commit budget and reset the watchdog. */
+    void beginRun(std::uint64_t max_instrs);
+
+    /** Stop condition: fetch exhausted and the pipeline drained. */
+    bool
+    runDone() const
+    {
+        bool fetch_exhausted =
+            streamEnded || fetchedInstrs >= maxInstrs_;
+        return fetch_exhausted && rob.empty() && fetchQueue.empty();
+    }
+
+    /** Time of this core's next edge (never consumes it). */
+    Tick nextEventTime() { return kernel.peekNextTime(); }
+
+    /** Process exactly one edge, then run the watchdog check. */
+    void stepEdge();
+
+    /** Drain parked clocks and assemble the result. */
+    RunResult finishRun();
+
+    /**
+     * Join a chip: route L2-port and DRAM traffic through @p side as
+     * tile @p tile.  Must be called before the run starts.
+     */
+    void
+    setSharedMemSide(SharedMemSide *side, int tile)
+    {
+        sharedMem = side;
+        tileId_ = tile;
+    }
+
+    /** Edges consumed so far by one domain's clock (edge schedule). */
+    std::uint64_t
+    domainEdges(Domain d) const
+    {
+        return clock(d).edges();
+    }
 
     // DvfsControl interface
     void setTarget(Domain d, Mhz f) override;
@@ -142,6 +215,21 @@ class Processor : public DvfsControl
     bool operandReady(std::uint64_t producer_seq, Domain d,
                       Tick now) const;
     Tick syncMargin(Domain src, Domain dst) const;
+    /** L2 lookup start: shared-port grant under a chip, else @p t. */
+    Tick
+    l2PortGrant(Tick t)
+    {
+        return sharedMem ? sharedMem->l2PortGrant(tileId_, t) : t;
+    }
+    /** Main-memory access: shared DRAM queue under a chip, else the
+     *  core-private memory model. */
+    Tick
+    memAccess(Tick t)
+    {
+        ++dramAccessCount;
+        return sharedMem ? sharedMem->dramAccess(tileId_, t)
+                         : memory.access(t);
+    }
     DomainClock &clock(Domain d) { return kernel.clock(d); }
     const DomainClock &clock(Domain d) const
     {
@@ -168,6 +256,8 @@ class Processor : public DvfsControl
     // --- hooks ---
     MarkerHandler *markerHandler = nullptr;
     TraceSink *traceSink = nullptr;
+    SharedMemSide *sharedMem = nullptr;
+    int tileId_ = 0;
     IntervalHook *intervalHook = nullptr;
     std::uint64_t intervalInstrs = 0;
     std::vector<SchedulePoint> schedule;
@@ -206,6 +296,10 @@ class Processor : public DvfsControl
     std::uint64_t nextSeq = 1;
     std::uint64_t maxInstrs_ = 0;
 
+    // watchdog (reset by beginRun, advanced by stepEdge)
+    Tick watchdogLastCheck = 0;
+    std::uint64_t watchdogLastInstrs = 0;
+
     // interval accounting
     std::array<double, NUM_SCALED_DOMAINS> occSum{};
     std::array<std::uint64_t, NUM_SCALED_DOMAINS> occSamples{};
@@ -223,6 +317,7 @@ class Processor : public DvfsControl
     std::uint64_t l1dMissCount = 0;
     std::uint64_t l2MissCount = 0;
     std::uint64_t icacheMissCount = 0;
+    std::uint64_t dramAccessCount = 0;
     std::uint64_t reconfigCount = 0;
     std::uint64_t overheadCycleCount = 0;
 };

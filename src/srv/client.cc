@@ -110,7 +110,8 @@ Client::stats()
 SweepReply
 Client::sweep(const std::vector<std::string> &workloads,
               const std::vector<std::string> &policies,
-              std::uint64_t window, int timeout_ms, bool pin)
+              std::uint64_t window, int timeout_ms, bool pin,
+              long long tiles, const std::string &coord)
 {
     Request req;
     req.verb = Request::Verb::Sweep;
@@ -123,6 +124,11 @@ Client::sweep(const std::vector<std::string> &workloads,
         req.hasFingerprint = true;
         req.fingerprint = fingerprint_;
     }
+    if (tiles >= 0) {
+        req.hasTiles = true;
+        req.tiles = static_cast<std::uint64_t>(tiles);
+    }
+    req.coord = coord;
     if (!conn_.writeLine(formatRequest(req)))
         throw NetError("send failed (server gone?)");
 
@@ -133,6 +139,7 @@ Client::sweep(const std::vector<std::string> &workloads,
             SweepRow row;
             row.workload = resp.field("workload");
             row.policy = resp.field("policy");
+            row.tile = resp.field("tile");
             row.memoHit = resp.field("memo") == "hit";
             std::string perr;
             if (!parseOutcome(resp.fields, row.outcome, perr))

@@ -59,6 +59,9 @@ struct SweepRow
 {
     std::string workload;  ///< canonical workload spec
     std::string policy;    ///< canonical policy spec
+    /** Chip sweeps only: `"0"`..`"N-1"` for a tile row, `"u"` for
+     *  the shared-uncore row; empty on single-core sweeps. */
+    std::string tile;
     bool memoHit = false;  ///< served from the server's memo?
     control::Outcome outcome;
 };
@@ -101,11 +104,16 @@ class Client
      * @p timeout_ms of 0 take the server defaults; @p pin sends the
      * fingerprint learned by hello() so a differently-configured
      * server refuses instead of answering with foreign numbers.
+     * @p tiles >= 0 makes it a chip sweep (`tiles=` on the wire;
+     * 0 = "as named by the multi: spec"), streaming tiles+1 rows per
+     * cell; @p coord optionally names a `chip-coord:` spec for the
+     * shared uncore.
      */
     SweepReply sweep(const std::vector<std::string> &workloads,
                      const std::vector<std::string> &policies,
                      std::uint64_t window = 0, int timeout_ms = 0,
-                     bool pin = false);
+                     bool pin = false, long long tiles = -1,
+                     const std::string &coord = {});
 
     /** Upload authored program text (PROG); returns the
      *  content-addressed `prog:...` handle. */

@@ -8,7 +8,7 @@
 namespace mcd::srv
 {
 
-const char *const PROTO_TAG = "MCD/1";
+const char *const PROTO_TAG = "MCD/2";
 
 const std::vector<std::string> &
 errorCodes()
@@ -220,6 +220,20 @@ parseRequest(const std::string &line, Request &req,
                 return false;
             }
             r.hasFingerprint = true;
+        } else if (key == "tiles" &&
+                   r.verb == Request::Verb::Sweep) {
+            if (r.hasTiles || !parseU64(value, 4096, r.tiles)) {
+                err_text = "bad tiles '" + value + "'";
+                return false;
+            }
+            r.hasTiles = true;
+        } else if (key == "coord" &&
+                   r.verb == Request::Verb::Sweep) {
+            if (!r.coord.empty()) {
+                err_text = "duplicate coord";
+                return false;
+            }
+            r.coord = value;
         } else if (key == "lines" &&
                    r.verb == Request::Verb::Prog) {
             std::uint64_t v = 0;
@@ -239,6 +253,10 @@ parseRequest(const std::string &line, Request &req,
         if (r.workloads.empty() || r.policies.empty()) {
             err_text = "SWEEP needs at least one workload= and one "
                        "policy=";
+            return false;
+        }
+        if (!r.coord.empty() && !r.hasTiles) {
+            err_text = "coord= needs tiles= (chip sweeps only)";
             return false;
         }
     }
@@ -276,6 +294,10 @@ formatRequest(const Request &req)
             out += " timeout_ms=" + std::to_string(req.timeoutMs);
         if (req.hasFingerprint)
             out += " fingerprint=" + hex16(req.fingerprint);
+        if (req.hasTiles)
+            out += " tiles=" + std::to_string(req.tiles);
+        if (!req.coord.empty())
+            out += " coord=" + req.coord;
     }
     if (req.verb == Request::Verb::Prog)
         out += " lines=" + std::to_string(req.progLines);
@@ -484,6 +506,12 @@ resultLine(const std::string &workload, const std::string &policy,
 {
     return "workload=" + workload + " policy=" + policy + ' ' +
            formatOutcome(o);
+}
+
+std::string
+tileLabel(std::size_t k, std::size_t tiles)
+{
+    return k < tiles ? std::to_string(k) : std::string("u");
 }
 
 } // namespace mcd::srv

@@ -7,7 +7,7 @@
  *
  * Every frame is one '\n'-terminated line of space-separated tokens:
  *
- *     MCD/1 <VERB> [key=value ...] [msg=free text to end of line]
+ *     MCD/2 <VERB> [key=value ...] [msg=free text to end of line]
  *
  * The leading `MCD/<version>` tag makes every frame self-describing;
  * a server that does not speak the client's version can say so in a
@@ -28,6 +28,7 @@
 #ifndef MCD_SRV_PROTO_HH
 #define MCD_SRV_PROTO_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -38,10 +39,18 @@
 namespace mcd::srv
 {
 
-/** Protocol version spoken by this tree. */
-constexpr int PROTO_VERSION = 1;
+/**
+ * Protocol version spoken by this tree.
+ *
+ * History (docs/SERVER.md keeps the same table):
+ *  - MCD/1: HELLO/PING/STATS/SWEEP/PROG/QUIT over single-core cells.
+ *  - MCD/2: SWEEP gained `tiles=` and `coord=` (chip sweeps); chip
+ *    ROW frames carry a leading `tile=` field (`0..N-1` or `u` for
+ *    the shared uncore).
+ */
+constexpr int PROTO_VERSION = 2;
 
-/** The line tag every frame starts with ("MCD/1"). */
+/** The line tag every frame starts with ("MCD/2"). */
 extern const char *const PROTO_TAG;
 
 /**
@@ -94,6 +103,15 @@ struct Request
      *  server.  Checked only when present. */
     bool hasFingerprint = false;
     std::uint64_t fingerprint = 0;
+    /** SWEEP: `tiles=` present makes this a chip sweep — every
+     *  workload runs as a co-schedule on a `chip::Chip` and every
+     *  cell streams tiles+1 rows (`tile=0..N-1` plus `tile=u`).
+     *  tiles=0 means "as named by the multi: spec". */
+    bool hasTiles = false;
+    std::uint64_t tiles = 0;
+    /** SWEEP (chip only): `chip-coord:...` coordinator spec; empty =
+     *  the uncore stays pinned at its maximum frequency. */
+    std::string coord;
     /** PROG: number of verbatim program-text lines that follow. */
     std::size_t progLines = 0;
 };
@@ -145,7 +163,7 @@ formatResponse(Response::Kind kind, const std::string &id,
                    &fields = {},
                const std::string &msg = {});
 
-/** Shorthand for an ERR line: `MCD/1 ERR [id=..] code=.. [retry_ms=..]
+/** Shorthand for an ERR line: `MCD/2 ERR [id=..] code=.. [retry_ms=..]
  *  msg=..`. */
 std::string errLine(const std::string &id, const char *code,
                     const std::string &msg, int retry_ms = 0);
@@ -174,6 +192,14 @@ bool parseOutcome(
 std::string resultLine(const std::string &workload,
                        const std::string &policy,
                        const control::Outcome &o);
+
+/**
+ * Row label for chip sweep row @p k of an N-tile chip: `"0"`..`"N-1"`
+ * for the tiles, `"u"` for the shared-uncore row (k == N).  The same
+ * spelling appears in the `tile=` wire field, the `tile=K ` prefix
+ * `mcd_client` prints, and the chip cache keys.
+ */
+std::string tileLabel(std::size_t k, std::size_t tiles);
 
 } // namespace mcd::srv
 

@@ -152,6 +152,9 @@ class SweepServer
     /** Returns false when the connection should be closed. */
     bool handleLine(Conn &conn, const std::string &line);
     bool handleSweep(Conn &conn, const Request &req);
+    /** `tiles=` requests: each cell is one whole chip::Chip run
+     *  streaming tiles+1 rows (`tile=0..N-1`, `tile=u`). */
+    bool handleChipSweep(Conn &conn, const Request &req);
     bool handleProg(Conn &conn, const Request &req);
     exp::Runner *runnerFor(std::uint64_t window, std::string &err);
     void reapConnThreads(bool join_all);

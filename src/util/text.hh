@@ -25,7 +25,7 @@ std::string fmtFixed(double v, int prec);
 /**
  * Locale-independent 17-significant-digit decimal (C-locale `%.17g`
  * semantics): the one sanctioned way to write a double on a
- * persisted or wire path — result-cache CSV lines, MCD/1 ROW
+ * persisted or wire path — result-cache CSV lines, MCD/2 ROW
  * payloads.  17 significant digits round-trip any IEEE-754 double
  * exactly, and the classic locale guarantees '.' decimal points no
  * matter what the embedding application did with setlocale().

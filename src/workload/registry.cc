@@ -70,8 +70,16 @@ WorkloadRegistry::list() const
     std::lock_guard<std::mutex> l(i.m);
     std::vector<const WorkloadFactory *> out;
     out.reserve(i.factories.size());
-    for (const auto &kv : i.factories)  // std::map: name-sorted
+    for (const auto &kv : i.factories)
         out.push_back(kv.second.get());
+    // The name-sorted order is a contract, not a side effect of the
+    // Impl container: `--list-workloads` output, unknown-spec error
+    // listings and docs pins all diff against it (see
+    // tests/test_chip.cc, Registries.ListingsAreNameSorted).
+    std::sort(out.begin(), out.end(),
+              [](const WorkloadFactory *a, const WorkloadFactory *b) {
+                  return std::strcmp(a->name(), b->name()) < 0;
+              });
     return out;
 }
 

@@ -1,0 +1,20 @@
+// Miniature ChipConfig for mcd_lint's fixture tests.
+
+#ifndef FIX_CHIP_CONFIG_HH
+#define FIX_CHIP_CONFIG_HH
+
+#include "sim/config.hh"
+
+namespace mcd::chip
+{
+
+struct ChipConfig
+{
+    int l2PortCycles = 1;
+    double uncoreMaxMhz = 1000.0;
+    sim::Tick coordIntervalPs = 1000000;
+};
+
+} // namespace mcd::chip
+
+#endif

@@ -1,0 +1,20 @@
+// Miniature self-registering chip coordinator policy for mcd_lint's
+// fixture tests.
+
+#include "control/policy.hh"
+
+namespace mcd::chip
+{
+namespace
+{
+
+class ToyCoordPolicy final : public control::Policy
+{
+  public:
+    const char *name() const override { return "toy-coord"; }
+};
+
+MCD_REGISTER_POLICY(ToyCoordPolicy);
+
+} // namespace
+} // namespace mcd::chip

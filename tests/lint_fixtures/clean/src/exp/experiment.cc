@@ -39,6 +39,11 @@ configFingerprint(const ExpConfig &cfg)
     f.f64(p.vMax);
 
     f.u64(cfg.profileMaxInstrs);
+
+    const chip::ChipConfig &ch = cfg.chip;
+    f.i64(ch.l2PortCycles);
+    f.f64(ch.uncoreMaxMhz);
+    f.u64(ch.coordIntervalPs);
     return f.h ^ static_cast<std::uint64_t>(CACHE_VERSION);
 }
 

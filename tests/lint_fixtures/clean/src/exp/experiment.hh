@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "chip/config.hh"
 #include "power/power.hh"
 #include "sim/config.hh"
 
@@ -16,6 +17,7 @@ struct ExpConfig
 {
     sim::SimConfig sim;
     power::PowerConfig power;
+    chip::ChipConfig chip;
     std::uint64_t profileMaxInstrs = 4000;
 
     // mcd-lint: allow(fingerprint-complete): spelled into the

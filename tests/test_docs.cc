@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 
+#include "chip/config.hh"
 #include "control/policy.hh"
 #include "srv/proto.hh"
 #include "srv/server.hh"
@@ -135,6 +136,39 @@ TEST(Docs, ServerDocCoversProtocolAndKnobs)
         EXPECT_NE(doc.find(needle), std::string::npos)
             << "docs/SERVER.md knob row '" << needle
             << "' missing or stale";
+}
+
+TEST(Docs, ChipDocCoversTopologyAndKnobs)
+{
+    std::string doc = readDoc("docs/CHIP.md");
+    // Every ChipConfig knob row carries the struct's real default,
+    // so the doc cannot drift from src/chip/config.hh.
+    mcd::chip::ChipConfig def;
+    auto row = [](const char *name, const std::string &value) {
+        return "| `" + std::string(name) + "` | " + value + " |";
+    };
+    for (const std::string &needle : {
+             row("l2PortCycles", std::to_string(def.l2PortCycles)),
+             row("uncoreMaxMhz",
+                 mcd::control::fmtFixed(def.uncoreMaxMhz, 3)),
+             row("uncoreMinMhz",
+                 mcd::control::fmtFixed(def.uncoreMinMhz, 3)),
+             row("coordIntervalPs",
+                 std::to_string(def.coordIntervalPs)),
+             row("uncoreClockPj",
+                 mcd::control::fmtFixed(def.uncoreClockPj, 3)),
+             row("uncoreLeakW",
+                 mcd::control::fmtFixed(def.uncoreLeakW, 3)),
+         })
+        EXPECT_NE(doc.find(needle), std::string::npos)
+            << "docs/CHIP.md knob row '" << needle
+            << "' missing or stale";
+    // The co-schedule grammar, the wire row labels and the chip
+    // cache-key field must be spelled out.
+    for (const char *token : {"`multi:", ",t1=", "tile=u",
+                              "chip:tiles=", "`chip-coord"})
+        EXPECT_NE(doc.find(token), std::string::npos)
+            << "docs/CHIP.md lacks '" << token << "'";
 }
 
 TEST(Docs, LintingDocCoversEveryRule)

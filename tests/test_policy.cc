@@ -124,11 +124,17 @@ TEST(PolicyRegistry, ListIsSortedAndComplete)
                   std::string(all[i]->name()));
 }
 
-TEST(PolicyRegistry, OnlyBaselineIsAbsolute)
+TEST(PolicyRegistry, OnlyBaselineAndChipCoordAreAbsolute)
 {
-    for (const Policy *p : PolicyRegistry::instance().list())
+    // baseline is the reference every metric is computed against;
+    // chip-coord never runs a single-core cell at all (it governs a
+    // chip's shared uncore), so neither reports baseline-relative
+    // metrics.
+    for (const Policy *p : PolicyRegistry::instance().list()) {
+        std::string name = p->name();
         EXPECT_EQ(p->relativeToBaseline(),
-                  std::string(p->name()) != "baseline");
+                  name != "baseline" && name != "chip-coord");
+    }
 }
 
 // ---------------------------------------------------------------- //
@@ -254,9 +260,9 @@ TEST(PolicyCacheKey, CanonicalSpecIsTheKeyFragment)
     Runner runner(smallConfig());
     std::string key = runner.cacheKey(
         "gsm_decode", PolicySpec::of("offline").set("d", 10.0));
-    // v6|c<16-hex fingerprint>|<canonical policy spec>|<canonical
+    // v7|c<16-hex fingerprint>|<canonical policy spec>|<canonical
     // workload spec>|<context>
-    ASSERT_EQ(key.rfind("v6|c", 0), 0u) << key;
+    ASSERT_EQ(key.rfind("v7|c", 0), 0u) << key;
     EXPECT_EQ(key.substr(4 + 16),
               "|offline:d=10.000|gsm_decode|w8000|i4000");
 }

@@ -156,17 +156,17 @@ TEST(ServerTranscript, HelloPingQuitGolden)
     ScopedServer s;
     srv::Conn conn = s.raw();
 
-    ASSERT_TRUE(conn.writeLine("MCD/1 HELLO id=t1"));
+    ASSERT_TRUE(conn.writeLine("MCD/2 HELLO id=t1"));
     EXPECT_EQ(readLineChecked(conn),
-              "MCD/1 OK id=t1 proto=1 fingerprint=" +
+              "MCD/2 OK id=t1 proto=2 fingerprint=" +
                   hex16(s.server.fingerprint()) +
                   " window=8000 jobs=2");
 
-    ASSERT_TRUE(conn.writeLine("MCD/1 PING"));
-    EXPECT_EQ(readLineChecked(conn), "MCD/1 OK");
+    ASSERT_TRUE(conn.writeLine("MCD/2 PING"));
+    EXPECT_EQ(readLineChecked(conn), "MCD/2 OK");
 
-    ASSERT_TRUE(conn.writeLine("MCD/1 QUIT id=bye"));
-    EXPECT_EQ(readLineChecked(conn), "MCD/1 BYE id=bye");
+    ASSERT_TRUE(conn.writeLine("MCD/2 QUIT id=bye"));
+    EXPECT_EQ(readLineChecked(conn), "MCD/2 BYE id=bye");
 
     // After BYE the server closes its side.
     std::string rest;
@@ -184,11 +184,90 @@ TEST(ServerTranscript, SweepRowAndDoneGolden)
 
     srv::Conn conn = s.raw();
     ASSERT_TRUE(conn.writeLine(
-        "MCD/1 SWEEP id=s1 workload=gsm_decode policy=baseline"));
+        "MCD/2 SWEEP id=s1 workload=gsm_decode policy=baseline"));
     EXPECT_EQ(readLineChecked(conn),
-              "MCD/1 ROW id=s1 " + ref[0] + " memo=miss");
+              "MCD/2 ROW id=s1 " + ref[0] + " memo=miss");
     EXPECT_EQ(readLineChecked(conn),
-              "MCD/1 DONE id=s1 rows=1 hits=0 misses=1");
+              "MCD/2 DONE id=s1 rows=1 hits=0 misses=1");
+}
+
+TEST(ServerTranscript, ChipSweepRowsGolden)
+{
+    srv::ServerConfig cfg = smallServer();
+    ScopedServer s(cfg);
+
+    // The serial in-process reference: the same ChipCell through a
+    // jobs=1 Runner, labelled exactly as the server labels its rows.
+    mcd::exp::ExpConfig serial = cfg.exp;
+    serial.jobs = 1;
+    mcd::exp::Runner runner(serial);
+    mcd::exp::ChipCell cell;
+    cell.workload = "multi:t0=gsm_decode,t1=adpcm_decode";
+    auto rows = runner.runChip(cell);
+    ASSERT_EQ(rows.size(), 3u);
+
+    srv::Conn conn = s.raw();
+    ASSERT_TRUE(conn.writeLine(
+        "MCD/2 SWEEP id=ch1 "
+        "workload=multi:t0=gsm_decode,t1=adpcm_decode "
+        "policy=baseline tiles=0"));
+    for (std::size_t k = 0; k < rows.size(); ++k)
+        EXPECT_EQ(readLineChecked(conn),
+                  "MCD/2 ROW id=ch1 tile=" + srv::tileLabel(k, 2) +
+                      ' ' +
+                      srv::resultLine(
+                          "multi:t0=gsm_decode,t1=adpcm_decode",
+                          "baseline", rows[k]) +
+                      " memo=miss");
+    EXPECT_EQ(readLineChecked(conn),
+              "MCD/2 DONE id=ch1 rows=3 hits=0 misses=3");
+
+    // The same cell again is served entirely from the memo.
+    ASSERT_TRUE(conn.writeLine(
+        "MCD/2 SWEEP id=ch2 "
+        "workload=multi:t0=gsm_decode,t1=adpcm_decode "
+        "policy=baseline tiles=0"));
+    for (std::size_t k = 0; k < rows.size(); ++k)
+        readLineChecked(conn);
+    EXPECT_EQ(readLineChecked(conn),
+              "MCD/2 DONE id=ch2 rows=3 hits=3 misses=0");
+}
+
+TEST(ServerTranscript, ChipSweepBadSpecsAreStructured)
+{
+    ScopedServer s;
+    srv::Conn conn = s.raw();
+
+    // coord= without tiles= is a grammar error, not a spec error.
+    ASSERT_TRUE(conn.writeLine(
+        "MCD/2 SWEEP id=cb1 workload=gsm_decode policy=baseline "
+        "coord=chip-coord:hi=0.5"));
+    EXPECT_EQ(readLineChecked(conn),
+              "MCD/2 ERR code=bad-request msg=coord= needs tiles= "
+              "(chip sweeps only)");
+
+    // A tile policy that cannot drive tiles names the capable ones.
+    ASSERT_TRUE(conn.writeLine(
+        "MCD/2 SWEEP id=cb2 workload=gsm_decode policy=profile "
+        "tiles=2"));
+    std::string line = readLineChecked(conn);
+    EXPECT_NE(line.find("ERR id=cb2 code=bad-spec"),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("tile-capable"), std::string::npos) << line;
+
+    // A malformed co-schedule surfaces the multi: grammar message.
+    ASSERT_TRUE(conn.writeLine(
+        "MCD/2 SWEEP id=cb3 workload=multi:t0=gsm_decode,t5=mcf "
+        "policy=baseline tiles=0"));
+    line = readLineChecked(conn);
+    EXPECT_NE(line.find("ERR id=cb3 code=bad-spec"),
+              std::string::npos)
+        << line;
+
+    // The connection survives all of it.
+    ASSERT_TRUE(conn.writeLine("MCD/2 PING"));
+    EXPECT_EQ(readLineChecked(conn), "MCD/2 OK");
 }
 
 TEST(ServerTranscript, ErrorRepliesGolden)
@@ -202,24 +281,24 @@ TEST(ServerTranscript, ErrorRepliesGolden)
         const char *reply;
     } cases[] = {
         {"garbage in",
-         "MCD/1 ERR code=bad-request msg=bad protocol tag "
-         "'garbage' (expected MCD/1)"},
+         "MCD/2 ERR code=bad-request msg=bad protocol tag "
+         "'garbage' (expected MCD/2)"},
         {"MCD/9 PING",
-         "MCD/1 ERR code=bad-request msg=unsupported protocol "
-         "version 'MCD/9' (this server speaks MCD/1)"},
-        {"MCD/1 FROB",
-         "MCD/1 ERR code=bad-request msg=unknown verb 'FROB'"},
-        {"MCD/1  PING",
-         "MCD/1 ERR code=bad-request msg=empty token (stray "
+         "MCD/2 ERR code=bad-request msg=unsupported protocol "
+         "version 'MCD/9' (this server speaks MCD/2)"},
+        {"MCD/2 FROB",
+         "MCD/2 ERR code=bad-request msg=unknown verb 'FROB'"},
+        {"MCD/2  PING",
+         "MCD/2 ERR code=bad-request msg=empty token (stray "
          "space) at byte 6"},
-        {"MCD/1 SWEEP policy=baseline",
-         "MCD/1 ERR code=bad-request msg=SWEEP needs at least one "
+        {"MCD/2 SWEEP policy=baseline",
+         "MCD/2 ERR code=bad-request msg=SWEEP needs at least one "
          "workload= and one policy="},
-        {"MCD/1 SWEEP id=w workload=gsm_decode policy=baseline "
+        {"MCD/2 SWEEP id=w workload=gsm_decode policy=baseline "
          "window=0",
-         "MCD/1 ERR code=bad-request msg=bad window '0'"},
-        {"MCD/1 PING frob=1",
-         "MCD/1 ERR code=bad-request msg=unknown key 'frob' for "
+         "MCD/2 ERR code=bad-request msg=bad window '0'"},
+        {"MCD/2 PING frob=1",
+         "MCD/2 ERR code=bad-request msg=unknown key 'frob' for "
          "verb PING"},
     };
     // The connection survives every one of these: a malformed frame
@@ -228,8 +307,8 @@ TEST(ServerTranscript, ErrorRepliesGolden)
         ASSERT_TRUE(conn.writeLine(c.request)) << c.request;
         EXPECT_EQ(readLineChecked(conn), c.reply) << c.request;
     }
-    ASSERT_TRUE(conn.writeLine("MCD/1 PING"));
-    EXPECT_EQ(readLineChecked(conn), "MCD/1 OK");
+    ASSERT_TRUE(conn.writeLine("MCD/2 PING"));
+    EXPECT_EQ(readLineChecked(conn), "MCD/2 OK");
 }
 
 TEST(ServerTranscript, BadSpecsNameTheRegistries)
@@ -238,7 +317,7 @@ TEST(ServerTranscript, BadSpecsNameTheRegistries)
     srv::Conn conn = s.raw();
 
     ASSERT_TRUE(conn.writeLine(
-        "MCD/1 SWEEP id=b1 workload=no_such policy=baseline"));
+        "MCD/2 SWEEP id=b1 workload=no_such policy=baseline"));
     std::string line = readLineChecked(conn);
     EXPECT_NE(line.find("ERR id=b1 code=bad-spec"),
               std::string::npos)
@@ -246,7 +325,7 @@ TEST(ServerTranscript, BadSpecsNameTheRegistries)
     EXPECT_NE(line.find("known:"), std::string::npos) << line;
 
     ASSERT_TRUE(conn.writeLine(
-        "MCD/1 SWEEP id=b2 workload=gsm_decode policy=no_such"));
+        "MCD/2 SWEEP id=b2 workload=gsm_decode policy=no_such"));
     line = readLineChecked(conn);
     EXPECT_NE(line.find("ERR id=b2 code=bad-spec"),
               std::string::npos)
@@ -255,7 +334,7 @@ TEST(ServerTranscript, BadSpecsNameTheRegistries)
 
     // A known policy with a junk parameter lists what it takes.
     ASSERT_TRUE(conn.writeLine(
-        "MCD/1 SWEEP id=b3 workload=gsm_decode policy=offline:z=1"));
+        "MCD/2 SWEEP id=b3 workload=gsm_decode policy=offline:z=1"));
     line = readLineChecked(conn);
     EXPECT_NE(line.find("ERR id=b3 code=bad-spec"),
               std::string::npos)
@@ -274,13 +353,13 @@ TEST(ServerFraming, PartialFramesAssemble)
     // One frame dribbled across three writes, plus the start of the
     // next — the reader must assemble on '\n', not on recv()
     // boundaries.
-    ASSERT_TRUE(conn.writeAll("MCD/1 PI"));
+    ASSERT_TRUE(conn.writeAll("MCD/2 PI"));
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
     ASSERT_TRUE(conn.writeAll("NG id="));
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
-    ASSERT_TRUE(conn.writeAll("p1\nMCD/1 PING id=p2\n"));
-    EXPECT_EQ(readLineChecked(conn), "MCD/1 OK id=p1");
-    EXPECT_EQ(readLineChecked(conn), "MCD/1 OK id=p2");
+    ASSERT_TRUE(conn.writeAll("p1\nMCD/2 PING id=p2\n"));
+    EXPECT_EQ(readLineChecked(conn), "MCD/2 OK id=p1");
+    EXPECT_EQ(readLineChecked(conn), "MCD/2 OK id=p2");
 }
 
 TEST(ServerFraming, OversizeFrameRejectedAndClosed)
@@ -289,7 +368,7 @@ TEST(ServerFraming, OversizeFrameRejectedAndClosed)
     cfg.maxLineBytes = 256;
     ScopedServer s(cfg);
     srv::Conn conn = s.raw();
-    std::string big = "MCD/1 PING id=";
+    std::string big = "MCD/2 PING id=";
     big.append(1000, 'x');
     ASSERT_TRUE(conn.writeLine(big));
     std::string line = readLineChecked(conn);
@@ -308,7 +387,7 @@ TEST(ServerFraming, SlowLorisIsDisconnected)
     srv::Conn conn = s.raw();
     // ~11 bytes at 100ms apart cannot finish inside 300ms; the
     // deadline runs from the first byte, so trickling does not help.
-    srv::injectSend(conn, "MCD/1 PING", srv::Fault::SlowLoris,
+    srv::injectSend(conn, "MCD/2 PING", srv::Fault::SlowLoris,
                     /*seed=*/1, /*dribble_ms=*/100);
     std::string line;
     srv::Conn::ReadStatus st = conn.readLine(line, kIoMs, 4096);
@@ -331,7 +410,7 @@ TEST(ServerFaults, EveryFaultLeavesTheServerServing)
 {
     ScopedServer s;
     const std::string sweep =
-        "MCD/1 SWEEP id=f1 workload=gsm_decode policy=baseline";
+        "MCD/2 SWEEP id=f1 workload=gsm_decode policy=baseline";
     for (srv::Fault f : srv::allFaults()) {
         SCOPED_TRACE(srv::faultName(f));
         for (std::uint32_t seed = 1; seed <= 4; ++seed) {
@@ -361,7 +440,7 @@ TEST(ServerFaults, MidSweepDisconnectLeavesServerHealthy)
     {
         srv::Conn conn = s.raw();
         ASSERT_TRUE(
-            conn.writeLine("MCD/1 SWEEP id=d1 "
+            conn.writeLine("MCD/2 SWEEP id=d1 "
                            "workload=gsm_decode "
                            "workload=adpcm_decode "
                            "policy=baseline policy=offline:d=10"));
@@ -446,7 +525,7 @@ TEST(ServerAdmission, ConfigMismatchRejected)
     ScopedServer s;
     srv::Conn conn = s.raw();
     ASSERT_TRUE(conn.writeLine(
-        "MCD/1 SWEEP id=c1 workload=gsm_decode policy=baseline "
+        "MCD/2 SWEEP id=c1 workload=gsm_decode policy=baseline "
         "fingerprint=0000000000000001"));
     std::string line = readLineChecked(conn);
     EXPECT_NE(line.find("ERR id=c1 code=config-mismatch"),
@@ -503,25 +582,25 @@ TEST(ServerDrain, AdmittedSweepFinishesThroughStop)
     auto s = std::make_unique<ScopedServer>();
     srv::Conn conn = s->raw();
     ASSERT_TRUE(conn.writeLine(
-        "MCD/1 SWEEP id=g1 workload=gsm_decode "
+        "MCD/2 SWEEP id=g1 workload=gsm_decode "
         "workload=adpcm_decode policy=baseline "
         "policy=offline:d=10"));
     // First row proves the request was admitted, then stop() races
     // the remaining stream: a clean drain must deliver every row.
     std::string first = readLineChecked(conn);
-    EXPECT_NE(first.find("MCD/1 ROW id=g1"), std::string::npos)
+    EXPECT_NE(first.find("MCD/2 ROW id=g1"), std::string::npos)
         << first;
     std::thread stopper([&] { s->server.stop(); });
     int rows = 1;
     bool done = false;
     for (int i = 0; i < 16 && !done; ++i) {
         std::string line = readLineChecked(conn);
-        if (line.find("MCD/1 DONE id=g1") != std::string::npos) {
+        if (line.find("MCD/2 DONE id=g1") != std::string::npos) {
             EXPECT_NE(line.find("rows=4"), std::string::npos)
                 << line;
             done = true;
         } else {
-            EXPECT_NE(line.find("MCD/1 ROW id=g1"),
+            EXPECT_NE(line.find("MCD/2 ROW id=g1"),
                       std::string::npos)
                 << line;
             ++rows;
@@ -594,7 +673,7 @@ TEST(ServerProg, TruncatedUploadDoesNotHang)
     cfg.idleTimeoutMs = 300;
     ScopedServer s(cfg);
     srv::Conn conn = s.raw();
-    ASSERT_TRUE(conn.writeLine("MCD/1 PROG id=p1 lines=5"));
+    ASSERT_TRUE(conn.writeLine("MCD/2 PROG id=p1 lines=5"));
     ASSERT_TRUE(conn.writeLine("program: name=half"));
     conn.shutdownWrite();  // the other four lines never arrive
     std::string line;
@@ -648,6 +727,39 @@ TEST(ServerTransport, StatsCountersProgress)
             sawRows = true;
         }
     EXPECT_TRUE(sawRows);
+}
+
+TEST(ServerTransport, ClientChipSweepStreamsLabelledRows)
+{
+    ScopedServer s;
+    srv::Client client = s.client();
+    client.hello();
+    srv::SweepReply reply = client.sweep(
+        {"multi:t0=gsm_decode,t1=adpcm_decode"}, {"baseline"}, 0, 0,
+        /*pin=*/true, /*tiles=*/0);
+    ASSERT_EQ(reply.rows.size(), 3u);
+    EXPECT_EQ(reply.rows[0].tile, "0");
+    EXPECT_EQ(reply.rows[1].tile, "1");
+    EXPECT_EQ(reply.rows[2].tile, "u");
+    for (const auto &row : reply.rows) {
+        EXPECT_EQ(row.workload,
+                  "multi:t0=gsm_decode,t1=adpcm_decode");
+        EXPECT_EQ(row.policy, "baseline");
+    }
+
+    // A replicated workload with a coordinator travels the same way.
+    srv::SweepReply coord = client.sweep(
+        {"gsm_decode"}, {"baseline"}, 0, 0, /*pin=*/false,
+        /*tiles=*/2, "chip-coord");
+    ASSERT_EQ(coord.rows.size(), 3u);
+    EXPECT_EQ(coord.rows[0].workload,
+              "multi:t0=gsm_decode,t1=gsm_decode");
+
+    // Single-core rows keep an empty tile label.
+    srv::SweepReply plain =
+        client.sweep({"gsm_decode"}, {"baseline"});
+    ASSERT_EQ(plain.rows.size(), 1u);
+    EXPECT_EQ(plain.rows[0].tile, "");
 }
 
 // ---------------------------------------------------------------- //
@@ -722,6 +834,9 @@ TEST(Proto, RequestRoundTrips)
     req.timeoutMs = 1'500;
     req.hasFingerprint = true;
     req.fingerprint = 0xdeadbeef12345678ULL;
+    req.hasTiles = true;
+    req.tiles = 4;
+    req.coord = "chip-coord:hi=0.5";
 
     srv::Request back;
     std::string err;
@@ -735,14 +850,24 @@ TEST(Proto, RequestRoundTrips)
     EXPECT_EQ(back.timeoutMs, 1'500);
     EXPECT_TRUE(back.hasFingerprint);
     EXPECT_EQ(back.fingerprint, 0xdeadbeef12345678ULL);
+    EXPECT_TRUE(back.hasTiles);
+    EXPECT_EQ(back.tiles, 4u);
+    EXPECT_EQ(back.coord, "chip-coord:hi=0.5");
     EXPECT_EQ(srv::formatRequest(back), srv::formatRequest(req));
+}
+
+TEST(Proto, TileLabelsSpellTilesThenUncore)
+{
+    EXPECT_EQ(srv::tileLabel(0, 2), "0");
+    EXPECT_EQ(srv::tileLabel(1, 2), "1");
+    EXPECT_EQ(srv::tileLabel(2, 2), "u");
 }
 
 TEST(Proto, ErrMsgSwallowsRestOfLine)
 {
     std::string line = srv::errLine("x9", srv::err::OVERLOAD,
                                     "too much going on", 250);
-    EXPECT_EQ(line, "MCD/1 ERR id=x9 code=overload retry_ms=250 "
+    EXPECT_EQ(line, "MCD/2 ERR id=x9 code=overload retry_ms=250 "
                     "msg=too much going on");
     srv::Response resp;
     std::string err;
@@ -766,7 +891,7 @@ TEST(Proto, OutcomeRoundTripIsByteExact)
     std::string wire = srv::formatOutcome(o);
     srv::Response resp;
     std::string err;
-    ASSERT_TRUE(srv::parseResponse("MCD/1 ROW " + wire, resp, err))
+    ASSERT_TRUE(srv::parseResponse("MCD/2 ROW " + wire, resp, err))
         << err;
     control::Outcome back;
     ASSERT_TRUE(srv::parseOutcome(resp.fields, back, err)) << err;

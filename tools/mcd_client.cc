@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "chip/multi.hh"
 #include "exp/experiment.hh"
 #include "srv/client.hh"
 #include "workload/author.hh"
@@ -43,6 +44,12 @@ printUsage(const char *argv0, std::FILE *to)
         "                   program (uploaded via PROG in remote "
         "mode)\n"
         "  --policy SPEC    policy spec (repeatable)\n"
+        "  --tiles N        chip sweep: run each workload as an\n"
+        "                   N-tile co-schedule (0 = tile count as\n"
+        "                   named by a multi: spec); prints tiles+1\n"
+        "                   rows per cell (tile=0..N-1, tile=u)\n"
+        "  --coord SPEC     chip-coord: spec for the shared uncore\n"
+        "                   (chip sweeps only)\n"
         "  --window N       production window (0 = server default)\n"
         "  --timeout-ms N   per-request deadline (remote)\n"
         "  --pin            pin the server's config fingerprint\n"
@@ -98,6 +105,8 @@ struct Options
     bool local = false;
     std::vector<std::string> workloads;  ///< raw; @FILE not yet read
     std::vector<std::string> policies;
+    long long tiles = -1;  ///< >= 0 makes this a chip sweep
+    std::string coord;
     std::uint64_t window = 0;
     int timeoutMs = 0;
     bool pin = false;
@@ -126,6 +135,11 @@ runLocal(const Options &opt)
                     workload::WorkloadRegistry::instance()
                         .addProgram(workload::readProgramFile(
                             w.substr(1))));
+            else if (opt.tiles >= 0)
+                // Chip mode accepts multi: co-schedules, which the
+                // single-core canonicalizer rejects; runChip
+                // canonicalizes per cell.
+                benches.push_back(w);
             else
                 benches.push_back(
                     workload::canonicalWorkloadSpec(w));
@@ -149,6 +163,40 @@ runLocal(const Options &opt)
     }
 
     mcd::exp::Runner runner(cfg);
+    if (opt.tiles >= 0) {
+        // Chip sweep: each cell is one co-scheduled chip::Chip run
+        // streaming tiles+1 rows, labelled with the canonical
+        // multi: spec exactly as the server labels its ROW frames.
+        for (const auto &b : benches) {
+            for (const auto &s : specs) {
+                mcd::exp::ChipCell cell;
+                cell.workload = b;
+                cell.tiles = static_cast<int>(opt.tiles);
+                cell.tilePolicy = s;
+                cell.coord = opt.coord;
+                try {
+                    std::vector<std::string> tile_specs =
+                        chip::parseMultiSpec(b, cell.tiles);
+                    std::string multi =
+                        chip::multiSpecOf(tile_specs);
+                    std::vector<mcd::exp::Outcome> rows =
+                        runner.runChip(cell);
+                    for (std::size_t k = 0; k < rows.size(); ++k)
+                        std::printf(
+                            "tile=%s %s\n",
+                            srv::tileLabel(k, tile_specs.size())
+                                .c_str(),
+                            srv::resultLine(multi, s.str(), rows[k])
+                                .c_str());
+                } catch (const workload::SpecError &e) {
+                    std::fprintf(stderr, "error: bad-spec: %s\n",
+                                 e.what());
+                    return 1;
+                }
+            }
+        }
+        return 0;
+    }
     for (const auto &b : benches) {
         for (const auto &s : specs) {
             mcd::exp::Outcome o = runner.run(b, s);
@@ -201,12 +249,16 @@ runRemote(const Options &opt)
 
         srv::SweepReply reply =
             client.sweep(workloads, opt.policies, opt.window,
-                         opt.timeoutMs, opt.pin);
-        for (const auto &row : reply.rows)
+                         opt.timeoutMs, opt.pin, opt.tiles,
+                         opt.coord);
+        for (const auto &row : reply.rows) {
+            if (!row.tile.empty())
+                std::printf("tile=%s ", row.tile.c_str());
             std::printf("%s\n",
                         srv::resultLine(row.workload, row.policy,
                                         row.outcome)
                             .c_str());
+        }
         if (opt.quit)
             client.quit();
         return 0;
@@ -239,6 +291,11 @@ main(int argc, char **argv)
         } else if (!std::strcmp(argv[i], "--policy")) {
             opt.policies.push_back(
                 valueArg(argc, argv, i, "--policy"));
+        } else if (!std::strcmp(argv[i], "--tiles")) {
+            opt.tiles = static_cast<long long>(
+                numberArg(argc, argv, i, "--tiles", 4096));
+        } else if (!std::strcmp(argv[i], "--coord")) {
+            opt.coord = valueArg(argc, argv, i, "--coord");
         } else if (!std::strcmp(argv[i], "--window")) {
             opt.window = numberArg(
                 argc, argv, i, "--window",
@@ -283,6 +340,14 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "%s: a sweep needs at least one --workload and "
                      "one --policy\n\n",
+                     argv[0]);
+        printUsage(argv[0], stderr);
+        return 1;
+    }
+    if (!opt.coord.empty() && opt.tiles < 0) {
+        std::fprintf(stderr,
+                     "%s: --coord needs --tiles (chip sweeps "
+                     "only)\n\n",
                      argv[0]);
         printUsage(argv[0], stderr);
         return 1;

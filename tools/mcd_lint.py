@@ -8,9 +8,10 @@ registrar object files the linker could drop, locale-sensitive double
 formatting on cache/wire paths.  This pass parses the C++ sources and
 CMake lists directly (no compiler needed) and checks:
 
-  fingerprint-complete  every SimConfig/PowerConfig/ExpConfig field is
-                        hashed in exp::configFingerprint or carries an
-                        allow annotation explaining why not
+  fingerprint-complete  every SimConfig/PowerConfig/ExpConfig/
+                        ChipConfig field is hashed in
+                        exp::configFingerprint or carries an allow
+                        annotation explaining why not
   cache-version-pin     a fingerprint-affecting diff must come with a
                         CACHE_VERSION bump (field-list digest pinned in
                         tools/mcd_lint_pins.json)
@@ -18,12 +19,12 @@ CMake lists directly (no compiler needed) and checks:
                         gettimeofday/default-seeded std RNG engines
                         anywhere; no std::hash near cache-key/wire code
   locale-safety         no ad-hoc precision()/setprecision/imbue() on
-                        the cache and MCD/1 wire paths (src/exp/,
+                        the cache and MCD/2 wire paths (src/exp/,
                         src/srv/) — doubles go through util::fmtDouble17
-  registration          every .cc under src/control/policies/ and
-                        src/workload/workloads/ contains its
-                        MCD_REGISTER_* macro and is listed in the
-                        OBJECT-library CMakeLists
+  registration          every .cc under src/control/policies/,
+                        src/workload/workloads/ and src/chip/policies/
+                        contains its MCD_REGISTER_* macro and is
+                        listed in the OBJECT-library CMakeLists
   lint-docs             every rule above has a section in
                         docs/LINTING.md and is pinned in
                         tests/test_docs.cc
@@ -61,13 +62,15 @@ FINGERPRINT_STRUCTS = {
     "SimConfig": ("src/sim/config.hh", "s"),
     "PowerConfig": ("src/power/power.hh", "p"),
     "ExpConfig": ("src/exp/experiment.hh", "cfg"),
+    "ChipConfig": ("src/chip/config.hh", "ch"),
 }
 
 # directories whose .cc/.hh files the determinism rule scans
 DETERMINISM_DIRS = ["src", "bench", "tests", "tools", "examples"]
 # subtrees where std::hash is additionally banned (anything here is
 # one refactor away from a persisted key or a wire message)
-STD_HASH_DIRS = ["src/exp", "src/srv", "src/workload", "src/control"]
+STD_HASH_DIRS = ["src/exp", "src/srv", "src/workload", "src/control",
+                 "src/chip"]
 # cache/wire formatting paths for the locale-safety rule
 LOCALE_DIRS = ["src/exp", "src/srv"]
 
@@ -76,6 +79,8 @@ REGISTRATION = [
      "src/control/CMakeLists.txt", "mcd_policies"),
     ("src/workload/workloads", "MCD_REGISTER_WORKLOAD",
      "src/workload/CMakeLists.txt", "mcd_workloads"),
+    ("src/chip/policies", "MCD_REGISTER_POLICY",
+     "src/chip/CMakeLists.txt", "mcd_chip_policies"),
 ]
 
 RULES = {
@@ -291,7 +296,7 @@ def fingerprint_digest(body):
     leaving or reordering — or an int/float encoding change — changes
     the digest; whitespace and comments do not."""
     tokens = re.findall(
-        r"f\.(?:u64|i64|f64)|\b(?:s|p|cfg)\.[A-Za-z_]\w*", body)
+        r"f\.(?:u64|i64|f64)|\b(?:s|p|cfg|ch)\.[A-Za-z_]\w*", body)
     blob = "\n".join(tokens).encode()
     return hashlib.sha256(blob).hexdigest()
 
@@ -308,7 +313,8 @@ def check_fingerprint(root, findings):
         findings.add(Path(FINGERPRINT_CC), 1, "fingerprint-complete",
                      "configFingerprint() definition not found")
         return
-    hashed = set(re.findall(r"\b((?:s|p|cfg)\.[A-Za-z_]\w*)\b", body))
+    hashed = set(
+        re.findall(r"\b((?:s|p|cfg|ch)\.[A-Za-z_]\w*)\b", body))
 
     for struct, (header, prefix) in FINGERPRINT_STRUCTS.items():
         src = load(root, header)

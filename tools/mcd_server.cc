@@ -1,7 +1,7 @@
 /**
  * @file
  * `mcd_server` — the standalone sweep-service daemon: bind a Unix
- * and/or loopback-TCP listener, serve MCD/1 requests until SIGTERM
+ * and/or loopback-TCP listener, serve MCD/2 requests until SIGTERM
  * or SIGINT, then drain cleanly (admitted sweeps finish streaming,
  * the result cache is flushed) and exit 0.
  *

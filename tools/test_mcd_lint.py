@@ -54,6 +54,17 @@ CASES = {
         ("src/workload/CMakeLists.txt",
          "    workloads/toy.cc\n", ""),
     ],
+    # PR 8's bug class, chip flavor: an uncore knob leaves the
+    # fingerprint while chip cache keys still depend on it.
+    "chip-knob-unfingerprinted": [
+        ("src/exp/experiment.cc",
+         "    f.f64(ch.uncoreMaxMhz);\n", ""),
+    ],
+    # ...and the chip coordinator falls out of its OBJECT library.
+    "chip-missing-cmake-entry": [
+        ("src/chip/CMakeLists.txt",
+         "    policies/toy_coord.cc\n", ""),
+    ],
     # Raw rand() on a wire path.
     "raw-rand": [
         ("src/srv/proto.cc",
