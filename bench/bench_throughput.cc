@@ -6,11 +6,14 @@
  * shaker analysis throughput.
  *
  * Beyond the standard Google Benchmark flags, `--json FILE` writes a
- * machine-readable summary ({name, wall_ms, iterations} per
- * benchmark) for the CI perf-trajectory artifact, and
- * `--workload SPEC` (any registry spec: suite name, gen:...,
- * @file) re-points every workload-driven microbenchmark at that
- * workload instead of its default.
+ * machine-readable summary ({name, wall_ms, iterations, mode,
+ * sample} per benchmark) for the CI perf-trajectory artifact
+ * (BENCH_sim.json), `--workload SPEC` (any registry spec: suite
+ * name, gen:..., @file) re-points every workload-driven
+ * microbenchmark at that workload instead of its default, and
+ * `--sample SPEC` (sim::parseSamplingSpec grammar, see
+ * docs/SAMPLING.md) re-points the sampled-mode microbenchmarks at
+ * that geometry instead of the default sampled configuration.
  */
 
 #include <benchmark/benchmark.h>
@@ -26,7 +29,9 @@
 #include "core/profiler.hh"
 #include "core/shaker.hh"
 #include "exp/experiment.hh"
+#include "sim/checkpoint.hh"
 #include "sim/processor.hh"
+#include "sim/sampling.hh"
 #include "workload/stream.hh"
 #include "workload/suite.hh"
 
@@ -37,6 +42,25 @@ namespace
 
 /** --workload override; empty = each benchmark's default. */
 std::string g_workload_override;
+
+/** The geometry the sampled-mode microbenchmarks run under: the
+ *  default sampled configuration, or the --sample override. */
+sim::SamplingConfig g_sample_cfg = [] {
+    sim::SamplingConfig c;
+    c.mode = sim::SamplingMode::Sampled;
+    return c;
+}();
+
+/** The sampling configuration benchmark @p name ran under (exact for
+ *  everything but the sampled-mode microbenchmarks). */
+sim::SamplingConfig
+samplingFor(const std::string &name)
+{
+    if (name.rfind("BM_CycleSimulationSampled", 0) == 0 ||
+        name.rfind("BM_CycleSimulationCheckpointed", 0) == 0)
+        return g_sample_cfg;
+    return sim::SamplingConfig{};
+}
 
 /** The workload a microbenchmark runs: the --workload override when
  *  given, @p dflt otherwise. */
@@ -100,6 +124,60 @@ BM_CycleSimulationSlowPath(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * 30'000);
 }
 BENCHMARK(BM_CycleSimulationSlowPath)->Unit(benchmark::kMillisecond);
+
+void
+BM_CycleSimulationSampled(benchmark::State &state)
+{
+    // BM_CycleSimulation's run in sampled mode with an inline
+    // functional walk (no checkpoint set): the gap to the exact
+    // benchmark is the single-cell speedup, where the walk is paid
+    // inside every run.
+    workload::Benchmark bm = benchFor("gsm_decode");
+    sim::SimConfig scfg;
+    scfg.sampling = g_sample_cfg;
+    power::PowerConfig pcfg;
+    for (auto _ : state) {
+        sim::Processor proc(scfg, pcfg, bm.program, bm.train);
+        auto r = proc.run(30'000);
+        benchmark::DoNotOptimize(r.timePs);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 30'000);
+}
+BENCHMARK(BM_CycleSimulationSampled)->Unit(benchmark::kMillisecond);
+
+void
+BM_CycleSimulationCheckpointed(benchmark::State &state)
+{
+    // The sweep-engine shape: the checkpoint set is built once
+    // outside the timed region (runSweep shares it across every cell
+    // of a benchmark), so the timed body is the detailed probes plus
+    // the skip-span replay alone.  This wall time over
+    // BM_CycleSimulation's is the per-cell speedup the CI gate
+    // checks (tools/check_sampling.py speedup).
+    auto bm = std::make_shared<workload::Benchmark>(
+        benchFor("gsm_decode"));
+    sim::SimConfig scfg;
+    scfg.sampling = g_sample_cfg;
+    power::PowerConfig pcfg;
+    std::shared_ptr<const sim::CheckpointSet> cps;
+    if (scfg.sampling.sampled()) {
+        std::shared_ptr<const workload::Program> prog(bm,
+                                                      &bm->program);
+        cps = sim::CheckpointSet::build(prog, bm->train, scfg,
+                                        30'000);
+    }
+    for (auto _ : state) {
+        sim::Processor proc(scfg, pcfg, bm->program, bm->train);
+        proc.setCheckpoints(cps);
+        auto r = proc.run(30'000);
+        benchmark::DoNotOptimize(r.timePs);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 30'000);
+}
+BENCHMARK(BM_CycleSimulationCheckpointed)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_Profiling(benchmark::State &state)
@@ -211,6 +289,9 @@ class JsonTeeReporter : public benchmark::ConsoleReporter
                                    1e3
                              : 0.0;
             row.iterations = r.iterations;
+            sim::SamplingConfig sp = samplingFor(row.name);
+            row.mode = sp.sampled() ? "sampled" : "exact";
+            row.sample = sim::canonicalSamplingSpec(sp);
             rows.push_back(std::move(row));
         }
         ConsoleReporter::ReportRuns(runs);
@@ -235,7 +316,9 @@ class JsonTeeReporter : public benchmark::ConsoleReporter
             out << "    {\"name\": \"" << rows[i].name
                 << "\", \"wall_ms\": " << std::fixed
                 << rows[i].wallMs << std::defaultfloat
-                << ", \"iterations\": " << rows[i].iterations << "}"
+                << ", \"iterations\": " << rows[i].iterations
+                << ", \"mode\": \"" << rows[i].mode
+                << "\", \"sample\": \"" << rows[i].sample << "\"}"
                 << (i + 1 < rows.size() ? "," : "") << "\n";
         }
         out << "  ]\n}\n";
@@ -247,6 +330,8 @@ class JsonTeeReporter : public benchmark::ConsoleReporter
         std::string name;
         double wallMs = 0.0;
         std::int64_t iterations = 0;
+        std::string mode;    ///< "exact" | "sampled"
+        std::string sample;  ///< canonical --sample spec
     };
     std::string path;
     std::vector<Row> rows;
@@ -257,9 +342,9 @@ class JsonTeeReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char **argv)
 {
-    // Peel off --json FILE and --workload SPEC before Google
-    // Benchmark sees the args (it hard-errors on flags it does not
-    // know).
+    // Peel off --json FILE, --workload SPEC and --sample SPEC
+    // before Google Benchmark sees the args (it hard-errors on flags
+    // it does not know).
     std::string json_path;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
@@ -285,6 +370,21 @@ main(int argc, char **argv)
             try {
                 g_workload_override =
                     bench::resolveWorkloadArg(argv[++i]);
+            } catch (const workload::SpecError &e) {
+                std::fprintf(stderr, "%s: %s\n", argv[0],
+                             e.what());
+                return 1;
+            }
+            continue;
+        }
+        if (!std::strcmp(argv[i], "--sample")) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --sample needs a value\n",
+                             argv[0]);
+                return 1;
+            }
+            try {
+                g_sample_cfg = sim::parseSamplingSpec(argv[++i]);
             } catch (const workload::SpecError &e) {
                 std::fprintf(stderr, "%s: %s\n", argv[0],
                              e.what());

@@ -30,6 +30,12 @@
  *   --no-fast-forward  run the simulation kernel without idle-edge
  *                    fast-forward (slower; identical results — the
  *                    CI equivalence gate diffs the two modes)
+ *   --sample SPEC    simulation sampling mode (docs/SAMPLING.md):
+ *                    "exact" (default, bit-identical detailed
+ *                    simulation) or
+ *                    "sampled[:interval=N,sample=N,warmup=N,ci=PCT]"
+ *                    (detailed probes + functional skips, results
+ *                    carry 95% confidence intervals)
  *   --help           print usage and exit
  *
  * Unrecognized arguments are a hard error: a typo like `--job 4`
@@ -132,6 +138,9 @@ printUsage(const char *argv0, std::FILE *to)
         "  --list-workloads print the workload registry and exit\n"
         "  --no-fast-forward  disable the kernel's idle-edge "
         "fast-forward (identical results, slower)\n"
+        "  --sample SPEC    sampling mode: exact (default) or "
+        "sampled[:interval=N,sample=N,warmup=N,ci=PCT]\n"
+        "                   (see docs/SAMPLING.md)\n"
         "  --help           print this message and exit\n",
         argv0);
 }
@@ -246,6 +255,16 @@ parseArgs(int argc, char **argv)
             }
         } else if (!std::strcmp(argv[i], "--no-fast-forward")) {
             cfg.sim.fastForward = false;
+        } else if (!std::strcmp(argv[i], "--sample")) {
+            // Validate up front so a typo fails here with the
+            // grammar message, not mid-sweep.
+            try {
+                cfg.sim.sampling =
+                    sim::parseSamplingSpec(value(i, "--sample"));
+            } catch (const workload::SpecError &e) {
+                std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+                std::exit(1);
+            }
         } else if (!std::strcmp(argv[i], "--list-policies")) {
             listPolicies();
             std::exit(0);

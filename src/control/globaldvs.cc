@@ -8,7 +8,8 @@ globalDvsMatch(const workload::Program &program,
                const workload::InputSet &input,
                const sim::SimConfig &scfg_in,
                const power::PowerConfig &pcfg, std::uint64_t window,
-               Tick target_time_ps, int iters)
+               Tick target_time_ps, int iters,
+               std::shared_ptr<const sim::CheckpointSet> checkpoints)
 {
     // Global DVS runs on the same MCD substrate with all domains
     // locked to one frequency: the comparison against per-domain
@@ -22,6 +23,7 @@ globalDvsMatch(const workload::Program &program,
     auto run_at = [&](Mhz f) {
         sim::Processor proc(scfg, pcfg, program, input);
         proc.setInitialFreqs({f, f, f, f});
+        proc.setCheckpoints(checkpoints);
         return proc.run(window);
     };
 

@@ -10,6 +10,7 @@
 #define MCD_CONTROL_GLOBALDVS_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "power/power.hh"
 #include "sim/processor.hh"
@@ -51,13 +52,20 @@ struct GlobalDvsResult
  * @param target_time_ps run time to match, in picoseconds
  * @param iters      bisection iterations (6 resolves ~12 MHz over
  *                   the default 750 MHz range)
+ * @param checkpoints optional sampled-mode checkpoint set shared by
+ *                   every bisection probe run (the functional
+ *                   trajectory is frequency-independent, so one set
+ *                   serves all probed frequencies); ignored in exact
+ *                   mode
  */
 GlobalDvsResult
 globalDvsMatch(const workload::Program &program,
                const workload::InputSet &input,
                const sim::SimConfig &scfg,
                const power::PowerConfig &pcfg, std::uint64_t window,
-               Tick target_time_ps, int iters = 6);
+               Tick target_time_ps, int iters = 6,
+               std::shared_ptr<const sim::CheckpointSet> checkpoints =
+                   nullptr);
 
 } // namespace mcd::control
 

@@ -87,7 +87,12 @@ offlineAnalyze(const OfflineConfig &cfg,
 
     IntervalCollector collector(configureShaker(cfg, scfg, pcfg), tcfg,
                                 cfg.intervalInstrs);
-    sim::Processor analysis(scfg, pcfg, program, input);
+    // The shaker consumes every committed instruction's timing
+    // record; sampled probes would leave holes in the dependence
+    // DAG, so the analysis run is always exact.
+    sim::SimConfig acfg = scfg;
+    acfg.sampling = sim::SamplingConfig{};
+    sim::Processor analysis(acfg, pcfg, program, input);
     analysis.setTraceSink(&collector);
     analysis.run(window);
     collector.flush();
@@ -105,12 +110,14 @@ offlineAnalyze(const OfflineConfig &cfg,
 sim::RunResult
 offlineRun(const OfflineConfig &cfg, const workload::Program &program,
            const workload::InputSet &input, const sim::SimConfig &scfg,
-           const power::PowerConfig &pcfg, std::uint64_t window)
+           const power::PowerConfig &pcfg, std::uint64_t window,
+           std::shared_ptr<const sim::CheckpointSet> checkpoints)
 {
     auto sched = offlineAnalyze(cfg, program, input, scfg, pcfg,
                                 window);
     sim::Processor proc(scfg, pcfg, program, input);
     proc.setSchedule(std::move(sched));
+    proc.setCheckpoints(std::move(checkpoints));
     return proc.run(window);
 }
 

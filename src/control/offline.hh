@@ -10,6 +10,7 @@
 #define MCD_CONTROL_OFFLINE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/shaker.hh"
@@ -63,6 +64,11 @@ struct OfflineConfig
  * Analyze a production run with future knowledge and produce the
  * frequency schedule to apply on the re-run.
  *
+ * The analysis run always executes in exact mode: the shaker needs
+ * the complete per-instruction event trace, which sampled probes
+ * cannot provide.  Only the production re-run (offlineRun) honours
+ * SimConfig::sampling.
+ *
  * @param cfg     oracle parameters
  * @param program workload
  * @param input   production input set
@@ -79,14 +85,16 @@ offlineAnalyze(const OfflineConfig &cfg,
 
 /**
  * Convenience: analyze, then re-run the production input under the
- * schedule and return the result.
+ * schedule and return the result.  @p checkpoints (optional) is a
+ * prebuilt sampled-mode checkpoint set for the production re-run
+ * (sim/checkpoint.hh); ignored in exact mode.
  */
-sim::RunResult offlineRun(const OfflineConfig &cfg,
-                          const workload::Program &program,
-                          const workload::InputSet &input,
-                          const sim::SimConfig &scfg,
-                          const power::PowerConfig &pcfg,
-                          std::uint64_t window);
+sim::RunResult
+offlineRun(const OfflineConfig &cfg, const workload::Program &program,
+           const workload::InputSet &input, const sim::SimConfig &scfg,
+           const power::PowerConfig &pcfg, std::uint64_t window,
+           std::shared_ptr<const sim::CheckpointSet> checkpoints =
+               nullptr);
 
 } // namespace mcd::control
 

@@ -70,11 +70,14 @@ class GlobalPolicy final : public Policy
         workload::Benchmark bm = workload::makeBenchmark(bench);
         GlobalDvsResult g = globalDvsMatch(
             bm.program, bm.ref, ctx.sim, ctx.power,
-            ctx.productionWindow, static_cast<Tick>(off.timePs));
+            ctx.productionWindow, static_cast<Tick>(off.timePs),
+            /*iters=*/6, checkpointsFor(ctx, bench));
         Outcome res;
         res.timePs = static_cast<double>(g.run.timePs);
         res.energyNj = g.run.chipEnergyNj;
         res.globalFreq = g.freq;
+        res.timeCiPs = static_cast<double>(g.run.timeCiPs);
+        res.energyCiNj = g.run.energyCiNj;
         return res;
     }
 };

@@ -156,7 +156,7 @@ class HybridPolicy final : public Policy
         core::RuntimeStats rt;
         sim::RunResult r = pipe.runProduction(
             bm.ref, ctx.sim, ctx.power, ctx.productionWindow, &rt,
-            &guard, interval);
+            &guard, interval, checkpointsFor(ctx, bench));
 
         Outcome res = pipelineOutcome(r, rt, pipe);
         // Guard overrides are reconfigurations the chip performs on

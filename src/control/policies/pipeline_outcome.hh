@@ -33,6 +33,8 @@ pipelineOutcome(const sim::RunResult &r, const core::RuntimeStats &rt,
     res.tableBytes =
         static_cast<double>(pipe.plan().nextNodeTableBytes +
                             pipe.plan().freqTableBytes);
+    res.timeCiPs = static_cast<double>(r.timeCiPs);
+    res.energyCiNj = r.energyCiNj;
     return res;
 }
 

@@ -68,7 +68,8 @@ class ProfilePolicy final : public Policy
         pipe.train(bm.train, ctx.sim, ctx.power);
         core::RuntimeStats rt;
         sim::RunResult r = pipe.runProduction(
-            bm.ref, ctx.sim, ctx.power, ctx.productionWindow, &rt);
+            bm.ref, ctx.sim, ctx.power, ctx.productionWindow, &rt,
+            nullptr, 0, checkpointsFor(ctx, bench));
         return pipelineOutcome(r, rt, pipe);
     }
 };

@@ -41,6 +41,11 @@
 #include "util/stats.hh"
 #include "util/text.hh"
 
+namespace mcd::sim
+{
+class CheckpointSet;
+} // namespace mcd::sim
+
 namespace mcd::control
 {
 
@@ -66,6 +71,12 @@ struct Outcome
     double tableBytes = 0.0;
     // global-policy extras
     double globalFreq = 0.0;
+    // Sampled-simulation extras (sim/sampling.hh): 95% confidence
+    // half-widths of timePs/energyNj.  Both 0 in exact mode — and
+    // exact/sampled cells can never swap cache lines anyway, because
+    // every SamplingConfig field joins the config fingerprint.
+    double timeCiPs = 0.0;
+    double energyCiNj = 0.0;
 };
 
 /** Types a policy parameter can take. */
@@ -192,7 +203,24 @@ struct PolicyContext
     std::function<Outcome(const std::string &bench,
                           const PolicySpec &spec)>
         evaluate;
+    /**
+     * Sampled mode only: the harness's shared per-benchmark
+     * checkpoint set for production runs at `productionWindow` (see
+     * sim/checkpoint.hh — one functional walk serves every cell of a
+     * sweep on the same benchmark).  Unset in exact mode; may return
+     * nullptr.  Policies reach it through `checkpointsFor()`.
+     */
+    std::function<std::shared_ptr<const sim::CheckpointSet>(
+        const std::string &bench)>
+        checkpoints;
 };
+
+/** Null-safe access to PolicyContext::checkpoints. */
+inline std::shared_ptr<const sim::CheckpointSet>
+checkpointsFor(const PolicyContext &ctx, const std::string &bench)
+{
+    return ctx.checkpoints ? ctx.checkpoints(bench) : nullptr;
+}
 
 /**
  * Abstract reconfiguration policy.  Implementations are stateless

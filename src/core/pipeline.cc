@@ -38,7 +38,12 @@ ProfilePipeline::train(const workload::InputSet &train_input,
     shaker_cfg.mispredictPenalty = scfg.mispredictPenalty;
     NodeTracker tracker(*tree_);
     AnalysisCollector collector(shaker_cfg, cfg.limits);
-    sim::Processor analysis(scfg, pcfg, program, train_input);
+    // The shaker needs the complete per-instruction event trace of
+    // the analysis window; sampled probes would leave holes in it,
+    // so the analysis run is always exact.
+    sim::SimConfig acfg = scfg;
+    acfg.sampling = sim::SamplingConfig{};
+    sim::Processor analysis(acfg, pcfg, program, train_input);
     analysis.setMarkerHandler(&tracker);
     analysis.setTraceSink(&collector);
     analysis.run(cfg.analysisWindow);
@@ -60,13 +65,12 @@ ProfilePipeline::train(const workload::InputSet &train_input,
 }
 
 sim::RunResult
-ProfilePipeline::runProduction(const workload::InputSet &input,
-                               const sim::SimConfig &scfg,
-                               const power::PowerConfig &pcfg,
-                               std::uint64_t window,
-                               RuntimeStats *rt_out,
-                               sim::IntervalHook *hook,
-                               std::uint64_t hook_interval)
+ProfilePipeline::runProduction(
+    const workload::InputSet &input, const sim::SimConfig &scfg,
+    const power::PowerConfig &pcfg, std::uint64_t window,
+    RuntimeStats *rt_out, sim::IntervalHook *hook,
+    std::uint64_t hook_interval,
+    std::shared_ptr<const sim::CheckpointSet> checkpoints)
 {
     if (!trained)
         fatal("ProfilePipeline::runProduction() before train()");
@@ -77,6 +81,7 @@ ProfilePipeline::runProduction(const workload::InputSet &input,
     ProfileRuntime runtime(*tree_, plan_, cfg.costs);
     sim::Processor proc(scfg, pcfg, program, input);
     proc.setMarkerHandler(&runtime);
+    proc.setCheckpoints(std::move(checkpoints));
     if (hook)
         proc.setIntervalHook(hook, hook_interval);
     sim::RunResult r = proc.run(window);

@@ -78,14 +78,19 @@ class ProfilePipeline
      *               instrumented binary (e.g. a reactive guard that
      *               can override profile-chosen frequencies); fired
      *               every @p hook_interval committed instructions
+     * @param checkpoints optional prebuilt sampled-mode checkpoint
+     *               set for this run (sim/checkpoint.hh); ignored in
+     *               exact mode
      */
-    sim::RunResult runProduction(const workload::InputSet &input,
-                                 const sim::SimConfig &scfg,
-                                 const power::PowerConfig &pcfg,
-                                 std::uint64_t window,
-                                 RuntimeStats *rt_out = nullptr,
-                                 sim::IntervalHook *hook = nullptr,
-                                 std::uint64_t hook_interval = 0);
+    sim::RunResult
+    runProduction(const workload::InputSet &input,
+                  const sim::SimConfig &scfg,
+                  const power::PowerConfig &pcfg, std::uint64_t window,
+                  RuntimeStats *rt_out = nullptr,
+                  sim::IntervalHook *hook = nullptr,
+                  std::uint64_t hook_interval = 0,
+                  std::shared_ptr<const sim::CheckpointSet>
+                      checkpoints = nullptr);
 
     /** The training call tree (valid after train()). */
     const CallTree &tree() const { return *tree_; }

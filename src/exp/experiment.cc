@@ -7,11 +7,13 @@
 #include <thread>
 
 #include "chip/multi.hh"
+#include "sim/checkpoint.hh"
 #include "util/logging.hh"
 #include "util/pool.hh"
 #include "util/text.hh"
 #include "workload/registry.hh"
 #include "workload/spec.hh"
+#include "workload/suite.hh"
 
 namespace mcd::exp
 {
@@ -40,12 +42,16 @@ namespace
  *  diff must bump CACHE_VERSION.  v7: the chip::ChipConfig uncore
  *  knobs joined the fingerprint (chip sweep cells — `tile=` keys —
  *  depend on the shared L2-port/DRAM servers and the coordinator
- *  interval; single-core keys pay a one-time re-shuffle).  (History
- *  table: docs/ARCHITECTURE.md, layer 7.) */
-constexpr int CACHE_VERSION = 7;
+ *  interval; single-core keys pay a one-time re-shuffle).  v8: the
+ *  sim::SamplingConfig knobs joined the fingerprint and the line
+ *  payload grew the two CI fields (timeCiPs, energyCiNj) — sampled
+ *  and exact cells must never exchange outcomes, and sampled lines
+ *  must round-trip their confidence intervals.  (History table:
+ *  docs/ARCHITECTURE.md, layer 7.) */
+constexpr int CACHE_VERSION = 8;
 
 /** Numeric payload fields per cache line (after the key). */
-constexpr std::size_t NUM_LINE_FIELDS = 11;
+constexpr std::size_t NUM_LINE_FIELDS = 13;
 
 std::string
 outcomeToLine(const std::string &key, const Outcome &o)
@@ -59,7 +65,7 @@ outcomeToLine(const std::string &key, const Outcome &o)
         o.timePs, o.energyNj, o.reconfigs, o.overheadCycles,
         o.feCycles, o.dynReconfigPoints, o.dynInstrPoints,
         o.staticReconfigPoints, o.staticInstrPoints, o.tableBytes,
-        o.globalFreq,
+        o.globalFreq, o.timeCiPs, o.energyCiNj,
     };
     for (double f : fields) {
         line += ',';
@@ -86,7 +92,7 @@ lineToOutcome(const std::string &line, std::string &key, Outcome &o)
         &o.timePs, &o.energyNj, &o.reconfigs, &o.overheadCycles,
         &o.feCycles, &o.dynReconfigPoints, &o.dynInstrPoints,
         &o.staticReconfigPoints, &o.staticInstrPoints, &o.tableBytes,
-        &o.globalFreq,
+        &o.globalFreq, &o.timeCiPs, &o.energyCiNj,
     };
     for (std::size_t i = NUM_LINE_FIELDS; i-- > 0;) {
         std::size_t comma = line.rfind(',', end == 0 ? 0 : end - 1);
@@ -202,6 +208,13 @@ configFingerprint(const ExpConfig &cfg)
     f.u64(s.singleClock ? 1 : 0);
     f.u64(s.jitterSeed);
     f.u64(s.fastForward ? 1 : 0);
+
+    const sim::SamplingConfig &sp = s.sampling;
+    f.u64(static_cast<std::uint64_t>(sp.mode));
+    f.u64(sp.intervalInstrs);
+    f.u64(sp.sampleInstrs);
+    f.u64(sp.warmupInstrs);
+    f.f64(sp.ciBiasPct);
 
     const power::PowerConfig &p = cfg.power;
     for (double v : p.unitPj)
@@ -377,6 +390,13 @@ Runner::Runner(const ExpConfig &c)
                           const control::PolicySpec &spec) {
         return run(bench, spec);
     };
+    // Sampled mode: policies pull the shared per-benchmark
+    // checkpoint set through the context, so every cell of a sweep
+    // that runs one benchmark replays one functional walk.
+    if (cfg.sim.sampling.sampled())
+        ctx.checkpoints = [this](const std::string &bench) {
+            return checkpointSetFor(bench);
+        };
     loadCache();
     if (!cfg.cacheFile.empty())
         writer = std::make_unique<CacheWriter>(cfg.cacheFile);
@@ -412,7 +432,7 @@ Runner::resolve(const std::string &bench,
     // errors (the policy side of a cell is always built from
     // validated CLI/figure specs; workloads can arrive from cache
     // keys and user files).
-    canonBench = workload::canonicalWorkloadSpec(bench);
+    canonBench = canonicalBenchCached(bench);
     return keyPrefix() + '|' + canon.str() + '|' + canonBench +
            '|' + policy->contextKey(ctx);
 }
@@ -464,6 +484,54 @@ Runner::loadCache()
     if (nRejected > MAX_LINE_WARNINGS)
         warn("cache %s: %zu malformed lines ignored in total",
              cfg.cacheFile.c_str(), nRejected);
+}
+
+std::string
+Runner::canonicalBenchCached(const std::string &bench) const
+{
+    {
+        std::lock_guard<std::mutex> l(canonBenchM);
+        auto it = canonBenchMemo.find(bench);
+        if (it != canonBenchMemo.end())
+            return it->second;
+    }
+    // Canonicalize outside the lock (it can build the workload);
+    // concurrent first requests for one bench both compute, which is
+    // harmless — the results are identical.
+    std::string canon = workload::canonicalWorkloadSpec(bench);
+    std::lock_guard<std::mutex> l(canonBenchM);
+    canonBenchMemo.emplace(bench, canon);
+    return canon;
+}
+
+std::shared_ptr<const sim::CheckpointSet>
+Runner::checkpointSetFor(const std::string &canon_bench)
+{
+    std::promise<std::shared_ptr<const sim::CheckpointSet>> prom;
+    std::shared_future<std::shared_ptr<const sim::CheckpointSet>> fut;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> l(ckptM);
+        auto it = ckptMemo.find(canon_bench);
+        if (it != ckptMemo.end()) {
+            fut = it->second;
+        } else {
+            fut = prom.get_future().share();
+            ckptMemo.emplace(canon_bench, fut);
+            owner = true;
+        }
+    }
+    if (!owner)
+        return fut.get();
+    // The set's functional state points into the Program, so the set
+    // keeps the whole Benchmark alive through an aliasing pointer.
+    auto bm = std::make_shared<workload::Benchmark>(
+        workload::makeBenchmark(canon_bench));
+    std::shared_ptr<const workload::Program> prog(bm, &bm->program);
+    auto set = sim::CheckpointSet::build(prog, bm->ref, cfg.sim,
+                                         cfg.productionWindow);
+    prom.set_value(set);
+    return set;
 }
 
 Runner::Shard &
@@ -585,6 +653,14 @@ Runner::resolveChip(const ChipCell &cell, control::PolicySpec &canon,
                     chip::CoordConfig &coord,
                     const control::Policy *&policy) const
 {
+    // Chip cells always run exact: tiles advance in global time
+    // order, and a per-tile functional skip would break the shared
+    // L2-port/DRAM arbitration the chip model exists to capture.
+    if (cfg.sim.sampling.sampled())
+        throw workload::SpecError(
+            "chip cells do not support sampled simulation; run chip "
+            "sweeps with --sample exact");
+
     tile_specs = chip::parseMultiSpec(cell.workload, cell.tiles);
     coord = chip::parseCoordSpec(cell.coord);
 

@@ -327,6 +327,25 @@ class Runner
     static constexpr std::size_t NUM_SHARDS = 16;
 
     Shard &shardFor(const std::string &key);
+    /**
+     * Memoized workload-spec canonicalization (throws
+     * workload::SpecError on a bad spec).  A sweep re-resolves its
+     * cells' bench strings constantly — every run() and every
+     * dependency evaluation — and full canonicalization rebuilds the
+     * workload just to print its spec, so each distinct bench string
+     * is canonicalized once per Runner and served from this memo
+     * afterwards.
+     */
+    std::string canonicalBenchCached(const std::string &bench) const;
+    /**
+     * Sampled mode: the shared per-benchmark checkpoint set
+     * (sim/checkpoint.hh), built once per distinct canonical bench
+     * at the production window and reused by every cell of the
+     * sweep.  Concurrency-safe with the same future-based
+     * compute-once protocol as the outcome memo.
+     */
+    std::shared_ptr<const sim::CheckpointSet>
+    checkpointSetFor(const std::string &canon_bench);
     /** Canonicalize @p spec (fatal on error) and @p bench (throws
      *  workload::SpecError), resolve the policy and build the
      *  memo/CSV key — the single definition of the key layout,
@@ -356,6 +375,14 @@ class Runner
     control::PolicyContext ctx;
     std::uint64_t fingerprint;
     std::array<Shard, NUM_SHARDS> shards;
+    mutable std::mutex canonBenchM;
+    mutable std::unordered_map<std::string, std::string>
+        canonBenchMemo;
+    std::mutex ckptM;
+    std::unordered_map<
+        std::string,
+        std::shared_future<std::shared_ptr<const sim::CheckpointSet>>>
+        ckptMemo;
     std::unique_ptr<CacheWriter> writer;
     std::size_t nLoaded = 0;
     std::size_t nRejected = 0;

@@ -1,0 +1,478 @@
+#include "sim/checkpoint.hh"
+
+#include <cstring>
+
+namespace mcd::sim
+{
+
+using workload::InstrClass;
+
+FuncState::FuncState(const SimConfig &cfg,
+                     const workload::Program &program,
+                     const workload::InputSet &input)
+    : stream(program, input),
+      l1i(cfg.l1iSizeKb, cfg.l1iWays, cfg.lineSize),
+      l1d(cfg.l1dSizeKb, cfg.l1dWays, cfg.lineSize),
+      l2(cfg.l2SizeKb, cfg.l2Ways, cfg.lineSize),
+      bpred(),
+      lineSize(cfg.lineSize)
+{
+}
+
+FuncDeltas
+FuncState::advance(std::uint64_t n, const MarkerFn &on_marker)
+{
+    FuncDeltas d;
+    while (d.instrs < n) {
+        std::size_t got = stream.nextBatch(batch, n - d.instrs);
+        std::size_t m = 0;
+        for (std::size_t i = 0; i < got; ++i) {
+            while (m < batch.markers.size() &&
+                   batch.markerPos[m] == i) {
+                if (on_marker)
+                    on_marker(batch.markers[m], d.instrs);
+                ++m;
+            }
+            std::uint64_t pc = batch.pc[i];
+            std::uint64_t line = pc / lineSize;
+            if (line != lastLine) {
+                lastLine = line;
+                if (!l1i.access(pc)) {
+                    ++d.icacheMisses;
+                    // Fetch-path L2 misses count only as DRAM
+                    // accesses (Frontend::fetch does not bump the
+                    // L2-miss counter for instruction lines).
+                    if (!l2.access(pc))
+                        ++d.dramAccesses;
+                }
+            }
+            InstrClass c = batch.cls[i];
+            if (c == InstrClass::Load || c == InstrClass::Store) {
+                ++d.l1dAccesses;
+                if (!l1d.access(batch.addr[i])) {
+                    ++d.l1dMisses;
+                    if (!l2.access(batch.addr[i])) {
+                        ++d.l2Misses;
+                        ++d.dramAccesses;
+                    }
+                }
+            } else if (c == InstrClass::Branch) {
+                ++d.branches;
+                BranchPrediction pr = bpred.predict(pc);
+                bool mis = pr.taken != batch.taken[i] ||
+                           (batch.taken[i] &&
+                            (!pr.btbHit ||
+                             pr.target != batch.target[i]));
+                if (mis)
+                    ++d.mispredicts;
+                bpred.update(pc, batch.taken[i], batch.target[i]);
+            }
+            ++d.instrs;
+        }
+        // Trailing markers (markerPos == n) only occur at end of
+        // program; deliver them so the handler sees the full stream.
+        while (m < batch.markers.size()) {
+            if (on_marker)
+                on_marker(batch.markers[m], d.instrs);
+            ++m;
+        }
+        if (got == 0)
+            break;  // end of program
+    }
+    index_ += d.instrs;
+    streamEnded = stream.done();
+    return d;
+}
+
+std::shared_ptr<const CheckpointSet>
+CheckpointSet::build(std::shared_ptr<const workload::Program> keepalive,
+                     const workload::InputSet &input,
+                     const SimConfig &cfg, std::uint64_t window)
+{
+    auto set = std::shared_ptr<CheckpointSet>(new CheckpointSet);
+    set->keepalive_ = keepalive;
+    set->sampling_ = cfg.sampling;
+    set->window_ = window;
+
+    const SamplingConfig &sp = cfg.sampling;
+    const std::uint64_t probe = sp.probeInstrs();
+    const std::uint64_t interval = sp.intervalInstrs;
+    FuncState f(cfg, *keepalive, input);
+    std::uint64_t v = 0;
+    std::uint64_t k = 0;
+    for (;;) {
+        // Mirror of Processor::runSampled's probe placement: interval
+        // k's probe sits at a jittered offset inside the interval;
+        // past the last interval the walk degenerates to a tail skip
+        // to the window end (probeLen == 0 marks it).
+        std::uint64_t interval_start = k * interval;
+        std::uint64_t target = window;
+        std::uint64_t probe_want = 0;
+        if (interval_start < window) {
+            std::uint64_t len =
+                std::min(interval, window - interval_start);
+            std::uint64_t off = std::min(
+                sampleProbeOffset(k, interval - probe),
+                len > probe ? len - probe : 0);
+            target = interval_start + off;
+            probe_want = std::min(probe, len - off);
+        }
+
+        std::uint64_t span_start = v;
+        std::vector<SpanEvent> pre_markers;
+        FuncDeltas sd;
+        if (target > v) {
+            sd = f.advance(
+                target - v, [&](const workload::Marker &mk,
+                                std::uint64_t idx) {
+                    pre_markers.push_back(
+                        SpanEvent{span_start + idx, mk});
+                });
+            v += sd.instrs;
+        }
+        bool ended = sd.instrs < target - span_start;
+
+        // Aggregate-init: FuncState has no default constructor, so
+        // the probe-start snapshot doubles as the member initializer.
+        Point p{span_start, 0, sd.instrs, sd,
+                std::move(pre_markers), f};
+        if (!ended && probe_want > 0) {
+            FuncDeltas pd =
+                f.advance(probe_want, FuncState::MarkerFn{});
+            p.probeLen = pd.instrs;
+            v += pd.instrs;
+            ended = pd.instrs < probe_want;
+        }
+        set->points_.push_back(std::move(p));
+        if (ended || probe_want == 0)
+            break;
+        ++k;
+    }
+    return set;
+}
+
+bool
+CheckpointSet::matches(const SamplingConfig &sp,
+                       std::uint64_t window) const
+{
+    return sampling_.mode == sp.mode &&
+           sampling_.intervalInstrs == sp.intervalInstrs &&
+           sampling_.sampleInstrs == sp.sampleInstrs &&
+           sampling_.warmupInstrs == sp.warmupInstrs &&
+           window_ == window;
+}
+
+// --- binary serialization ----------------------------------------------
+
+/**
+ * Raw little-endian-of-host binary reader/writer over std::string.
+ * Befriended by Cache and BranchPredictor for their private arrays.
+ * The format is an in-process/persisted-artifact format, not a wire
+ * protocol: no locale, no text formatting, fixed-width fields.
+ */
+class CheckpointIo
+{
+  public:
+    // writer
+    static void
+    putU64(std::string &o, std::uint64_t v)
+    {
+        char b[8];
+        std::memcpy(b, &v, 8);
+        o.append(b, 8);
+    }
+    static void
+    putU16(std::string &o, std::uint16_t v)
+    {
+        char b[2];
+        std::memcpy(b, &v, 2);
+        o.append(b, 2);
+    }
+    static void putU8(std::string &o, std::uint8_t v)
+    {
+        o.push_back(static_cast<char>(v));
+    }
+    static void
+    putF64(std::string &o, double v)
+    {
+        char b[8];
+        std::memcpy(b, &v, 8);
+        o.append(b, 8);
+    }
+
+    // reader (cursor + bounds flag)
+    struct In
+    {
+        const std::string &s;
+        std::size_t pos = 0;
+        bool ok = true;
+
+        bool
+        take(void *dst, std::size_t n)
+        {
+            if (!ok || pos + n > s.size()) {
+                ok = false;
+                return false;
+            }
+            std::memcpy(dst, s.data() + pos, n);
+            pos += n;
+            return true;
+        }
+        std::uint64_t
+        u64()
+        {
+            std::uint64_t v = 0;
+            take(&v, 8);
+            return v;
+        }
+        std::uint16_t
+        u16()
+        {
+            std::uint16_t v = 0;
+            take(&v, 2);
+            return v;
+        }
+        std::uint8_t
+        u8()
+        {
+            std::uint8_t v = 0;
+            take(&v, 1);
+            return v;
+        }
+        double
+        f64()
+        {
+            double v = 0.0;
+            take(&v, 8);
+            return v;
+        }
+    };
+
+    static void
+    put(std::string &o, const Cache &c)
+    {
+        putU64(o, c.useCounter);
+        putU64(o, c.nHits);
+        putU64(o, c.nMisses);
+        putU64(o, c.lines.size());
+        for (const Cache::Line &l : c.lines) {
+            putU64(o, l.tag);
+            putU64(o, l.lastUse);
+            putU8(o, l.valid ? 1 : 0);
+        }
+    }
+
+    static bool
+    get(In &in, Cache &c)
+    {
+        c.useCounter = in.u64();
+        c.nHits = in.u64();
+        c.nMisses = in.u64();
+        std::uint64_t n = in.u64();
+        if (!in.ok || n != c.lines.size())
+            return false;
+        for (Cache::Line &l : c.lines) {
+            l.tag = in.u64();
+            l.lastUse = in.u64();
+            l.valid = in.u8() != 0;
+        }
+        return in.ok;
+    }
+
+    static void
+    put(std::string &o, const BranchPredictor &b)
+    {
+        putU64(o, b.useCounter);
+        putU64(o, b.nLookups);
+        putU64(o, b.bimodal.size());
+        for (std::uint8_t v : b.bimodal)
+            putU8(o, v);
+        putU64(o, b.history.size());
+        for (std::uint16_t v : b.history)
+            putU16(o, v);
+        putU64(o, b.pht.size());
+        for (std::uint8_t v : b.pht)
+            putU8(o, v);
+        putU64(o, b.meta.size());
+        for (std::uint8_t v : b.meta)
+            putU8(o, v);
+        putU64(o, b.btb.size());
+        for (const BranchPredictor::BtbEntry &e : b.btb) {
+            putU64(o, e.tag);
+            putU64(o, e.target);
+            putU64(o, e.lastUse);
+            putU8(o, e.valid ? 1 : 0);
+        }
+    }
+
+    static bool
+    get(In &in, BranchPredictor &b)
+    {
+        b.useCounter = in.u64();
+        b.nLookups = in.u64();
+        if (in.u64() != b.bimodal.size())
+            return false;
+        for (std::uint8_t &v : b.bimodal)
+            v = in.u8();
+        if (in.u64() != b.history.size())
+            return false;
+        for (std::uint16_t &v : b.history)
+            v = in.u16();
+        if (in.u64() != b.pht.size())
+            return false;
+        for (std::uint8_t &v : b.pht)
+            v = in.u8();
+        if (in.u64() != b.meta.size())
+            return false;
+        for (std::uint8_t &v : b.meta)
+            v = in.u8();
+        if (in.u64() != b.btb.size())
+            return false;
+        for (BranchPredictor::BtbEntry &e : b.btb) {
+            e.tag = in.u64();
+            e.target = in.u64();
+            e.lastUse = in.u64();
+            e.valid = in.u8() != 0;
+        }
+        return in.ok;
+    }
+
+    static void
+    put(std::string &o, const FuncDeltas &d)
+    {
+        putU64(o, d.instrs);
+        putU64(o, d.branches);
+        putU64(o, d.mispredicts);
+        putU64(o, d.icacheMisses);
+        putU64(o, d.l1dAccesses);
+        putU64(o, d.l1dMisses);
+        putU64(o, d.l2Misses);
+        putU64(o, d.dramAccesses);
+    }
+
+    static void
+    get(In &in, FuncDeltas &d)
+    {
+        d.instrs = in.u64();
+        d.branches = in.u64();
+        d.mispredicts = in.u64();
+        d.icacheMisses = in.u64();
+        d.l1dAccesses = in.u64();
+        d.l1dMisses = in.u64();
+        d.l2Misses = in.u64();
+        d.dramAccesses = in.u64();
+    }
+};
+
+namespace
+{
+constexpr char CKPT_MAGIC[8] = {'M', 'C', 'D', 'C',
+                                'K', 'P', 'T', '1'};
+} // namespace
+
+void
+CheckpointSet::serialize(std::string &out) const
+{
+    using Io = CheckpointIo;
+    out.append(CKPT_MAGIC, sizeof(CKPT_MAGIC));
+    Io::putU8(out, static_cast<std::uint8_t>(sampling_.mode));
+    Io::putU64(out, sampling_.intervalInstrs);
+    Io::putU64(out, sampling_.sampleInstrs);
+    Io::putU64(out, sampling_.warmupInstrs);
+    Io::putF64(out, sampling_.ciBiasPct);
+    Io::putU64(out, window_);
+    Io::putU64(out, points_.size());
+    for (const Point &p : points_) {
+        Io::putU64(out, p.startIndex);
+        Io::putU64(out, p.probeLen);
+        Io::putU64(out, p.skipLen);
+        Io::put(out, p.skipDeltas);
+        Io::putU64(out, p.skipMarkers.size());
+        for (const SpanEvent &e : p.skipMarkers) {
+            Io::putU64(out, e.index);
+            Io::putU8(out, static_cast<std::uint8_t>(e.marker.kind));
+            Io::putU16(out, e.marker.func);
+            Io::putU16(out, e.marker.loop);
+            Io::putU16(out, e.marker.site);
+        }
+        // Stream state is its instruction index (rebuilt by replay);
+        // array state is verbatim.
+        Io::putU64(out, p.state.index());
+        Io::putU8(out, p.state.streamEnded ? 1 : 0);
+        Io::putU64(out, p.state.lastLine);
+        Io::put(out, p.state.l1i);
+        Io::put(out, p.state.l1d);
+        Io::put(out, p.state.l2);
+        Io::put(out, p.state.bpred);
+    }
+}
+
+std::shared_ptr<const CheckpointSet>
+CheckpointSet::deserialize(
+    const std::string &bytes,
+    std::shared_ptr<const workload::Program> keepalive,
+    const workload::InputSet &input, const SimConfig &cfg)
+{
+    using Io = CheckpointIo;
+    Io::In in{bytes};
+    char magic[8];
+    if (!in.take(magic, 8) ||
+        std::memcmp(magic, CKPT_MAGIC, 8) != 0)
+        return nullptr;
+
+    auto set = std::shared_ptr<CheckpointSet>(new CheckpointSet);
+    set->keepalive_ = keepalive;
+    set->sampling_.mode = static_cast<SamplingMode>(in.u8());
+    set->sampling_.intervalInstrs = in.u64();
+    set->sampling_.sampleInstrs = in.u64();
+    set->sampling_.warmupInstrs = in.u64();
+    set->sampling_.ciBiasPct = in.f64();
+    set->window_ = in.u64();
+    std::uint64_t n_points = in.u64();
+    if (!in.ok || n_points > set->window_ + 1)
+        return nullptr;
+
+    // One forward walker rebuilds every point's stream position in a
+    // single O(window) pass (points are in increasing index order).
+    FuncState walker(cfg, *keepalive, input);
+    for (std::uint64_t i = 0; i < n_points; ++i) {
+        Point p{0, 0, 0, {}, {}, walker};
+        p.startIndex = in.u64();
+        p.probeLen = in.u64();
+        p.skipLen = in.u64();
+        Io::get(in, p.skipDeltas);
+        std::uint64_t n_mk = in.u64();
+        if (!in.ok || n_mk > bytes.size())
+            return nullptr;
+        p.skipMarkers.resize(n_mk);
+        for (SpanEvent &e : p.skipMarkers) {
+            e.index = in.u64();
+            e.marker.kind =
+                static_cast<workload::MarkerKind>(in.u8());
+            e.marker.func = in.u16();
+            e.marker.loop = in.u16();
+            e.marker.site = in.u16();
+        }
+        std::uint64_t stream_index = in.u64();
+        bool stream_ended = in.u8() != 0;
+        std::uint64_t last_line = in.u64();
+        if (!in.ok || stream_index < walker.index())
+            return nullptr;
+        walker.advance(stream_index - walker.index(),
+                       FuncState::MarkerFn{});
+        if (walker.index() != stream_index)
+            return nullptr;
+        p.state = walker;
+        p.state.lastLine = last_line;
+        p.state.streamEnded = stream_ended;
+        if (!Io::get(in, p.state.l1i) || !Io::get(in, p.state.l1d) ||
+            !Io::get(in, p.state.l2) || !Io::get(in, p.state.bpred))
+            return nullptr;
+        set->points_.push_back(std::move(p));
+    }
+    if (!in.ok)
+        return nullptr;
+    return set;
+}
+
+} // namespace mcd::sim

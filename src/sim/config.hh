@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "sim/sampling.hh"
 #include "util/types.hh"
 
 namespace mcd::sim
@@ -101,6 +102,13 @@ struct SimConfig
      * fingerprint so outcomes from the two modes never mix.
      */
     bool fastForward = true;
+
+    /**
+     * Sampling mode and geometry (sim/sampling.hh): exact by default;
+     * sampled mode trades bounded error for 10-100x per-cell speed.
+     * All fields fingerprinted (CACHE_VERSION v8).
+     */
+    SamplingConfig sampling;
 
     /** Safety: abort if no instruction commits for this many ps. */
     // mcd-lint: allow(fingerprint-complete): a tripped watchdog

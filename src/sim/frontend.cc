@@ -382,8 +382,12 @@ Frontend::commit(Tick now)
         p.lastCommitTime = now;
         ++n;
 
+        // Schedule points and interval boundaries are positioned by
+        // *virtual* instruction index — committed plus functionally
+        // skipped (sampled mode; always equal to committed in exact
+        // mode, where skippedInstrs stays 0).
         while (p.schedulePos < p.schedule.size() &&
-               p.committedInstrs >=
+               p.committedInstrs + p.skippedInstrs >=
                    p.schedule[p.schedulePos].atInstr) {
             for (Domain d : scaledDomains())
                 p.kernel.setTarget(
@@ -393,17 +397,24 @@ Frontend::commit(Tick now)
         }
 
         if (p.intervalHook && p.intervalInstrs > 0 &&
-            p.committedInstrs - p.intervalStartInstrs >=
+            p.committedInstrs + p.skippedInstrs -
+                    p.intervalStartInstrs >=
                 p.intervalInstrs) {
             // Occupancy denominators must include parked domains'
             // idle edges up to this commit.
             p.kernel.syncStats();
             IntervalStats s;
-            s.instrs = p.committedInstrs - p.intervalStartInstrs;
+            s.instrs = p.committedInstrs + p.skippedInstrs -
+                       p.intervalStartInstrs;
+            // IPC is measured over the *detailed* commits of the
+            // interval (a sampled estimate of the true IPC); skipped
+            // instructions advance no front-end cycles.
+            std::uint64_t det_instrs =
+                p.committedInstrs - p.intervalStartDetailedInstrs;
             s.timePs = now - p.intervalStartTime;
             std::uint64_t fe_cyc =
                 p.feTickCount - p.intervalStartFeCycles;
-            s.ipc = fe_cyc ? static_cast<double>(s.instrs) /
+            s.ipc = fe_cyc ? static_cast<double>(det_instrs) /
                                  static_cast<double>(fe_cyc)
                            : 0.0;
             for (Domain d : scaledDomains()) {
@@ -422,7 +433,9 @@ Frontend::commit(Tick now)
             p.occSum.fill(0.0);
             p.occSamples.fill(0);
             p.robOccSum = 0.0;
-            p.intervalStartInstrs = p.committedInstrs;
+            p.intervalStartInstrs =
+                p.committedInstrs + p.skippedInstrs;
+            p.intervalStartDetailedInstrs = p.committedInstrs;
             p.intervalStartTime = now;
             p.intervalStartFeCycles = p.feTickCount;
         }

@@ -47,12 +47,17 @@ class Frontend final : public DomainComponent
      *  occupancy sample count (the sums gain only zeros). */
     void skipped(std::uint64_t n) override;
 
+    /** Apply a marker action to the pipeline (stall, injected-code
+     *  energy, reconfiguration register write).  Public so the
+     *  sampled-mode skip replay (sim/sampling.cc) reuses the one
+     *  implementation for reconfig actions. */
+    void applyMarker(const MarkerAction &a, Tick now);
+
   private:
     void fetch(Tick now);
     void dispatch(Tick now);
     void commit(Tick now);
     bool streamFetchBlocked(Tick now);
-    void applyMarker(const MarkerAction &a, Tick now);
 
     Processor &p;
 };

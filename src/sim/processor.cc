@@ -132,6 +132,8 @@ Processor::operandReady(std::uint64_t producer_seq, Domain d,
 RunResult
 Processor::run(std::uint64_t max_instrs)
 {
+    if (cfg.sampling.sampled())
+        return runSampled(max_instrs);
     beginRun(max_instrs);
     while (!runDone())
         stepEdge();

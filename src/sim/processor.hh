@@ -25,6 +25,7 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "power/power.hh"
@@ -41,6 +42,9 @@
 
 namespace mcd::sim
 {
+
+class CheckpointSet;
+class FuncState;
 
 /**
  * Chip-level shared memory side.  When installed (by the chip layer,
@@ -102,8 +106,24 @@ class Processor : public DvfsControl
     void setInitialFreqs(const FreqSet &freqs);
 
     /**
+     * Install a prebuilt checkpoint set for sampled runs (see
+     * sim/checkpoint.hh).  Used only when SimConfig::sampling is in
+     * sampled mode and the set matches its geometry and the run
+     * window; otherwise the sampler walks the functional state
+     * inline.  Must be called before the run starts; the set is
+     * retained for the processor's lifetime.
+     */
+    void
+    setCheckpoints(std::shared_ptr<const CheckpointSet> set)
+    {
+        checkpoints_ = std::move(set);
+    }
+
+    /**
      * Run until @p max_instrs instructions commit (or the program
-     * ends), then drain the pipeline.
+     * ends), then drain the pipeline.  In sampled mode @p max_instrs
+     * counts *virtual* instructions (detailed + functionally
+     * skipped) and the result carries CI fields (RunResult::sampled).
      */
     RunResult run(std::uint64_t max_instrs);
 
@@ -164,6 +184,22 @@ class Processor : public DvfsControl
   private:
     friend class Frontend;
     friend class ExecDomain;
+
+    // --- sampled-mode machinery (sim/sampling.cc) ---
+
+    /** The sampled counterpart of run(): detailed probes separated
+     *  by functional skips, extrapolated with confidence intervals. */
+    RunResult runSampled(std::uint64_t max_instrs);
+    /** Overwrite the warm microarchitectural state from @p f at a
+     *  probe start (stream, caches, predictor, fetch line). */
+    void copyInFuncState(const FuncState &f);
+    /** Apply schedule points with atInstr <= @p v (virtual index). */
+    void applyScheduleUpTo(std::uint64_t v);
+    /** Deliver a skip-span marker: the handler sees it (call-tree
+     *  position, reconfig decisions) and only the *state* effect of
+     *  its action (reconfig) is applied — transient stall/energy
+     *  costs are captured statistically by the probes. */
+    void deliverSkipMarker(const workload::Marker &m);
 
     /** In-flight instruction state. */
     struct Uop
@@ -262,6 +298,7 @@ class Processor : public DvfsControl
     std::uint64_t intervalInstrs = 0;
     std::vector<SchedulePoint> schedule;
     std::size_t schedulePos = 0;
+    std::shared_ptr<const CheckpointSet> checkpoints_;
 
     // --- pipeline state ---
     std::deque<Uop> rob;
@@ -300,16 +337,22 @@ class Processor : public DvfsControl
     Tick watchdogLastCheck = 0;
     std::uint64_t watchdogLastInstrs = 0;
 
-    // interval accounting
+    // interval accounting.  intervalStartInstrs counts *virtual*
+    // instructions (committed + skipped) so sampled runs fire hooks
+    // and schedules at the same program positions as exact runs; in
+    // exact mode skippedInstrs is always 0 and the arithmetic is
+    // identical to the pre-sampling simulator.
     std::array<double, NUM_SCALED_DOMAINS> occSum{};
     std::array<std::uint64_t, NUM_SCALED_DOMAINS> occSamples{};
     double robOccSum = 0.0;
     std::uint64_t intervalStartInstrs = 0;
     Tick intervalStartTime = 0;
     std::uint64_t intervalStartFeCycles = 0;
+    std::uint64_t intervalStartDetailedInstrs = 0;
 
     // stats
     std::uint64_t committedInstrs = 0;
+    std::uint64_t skippedInstrs = 0;  ///< sampled mode: func-skipped
     Tick lastCommitTime = 0;
     std::uint64_t branches = 0;
     std::uint64_t mispredicts = 0;

@@ -152,6 +152,16 @@ struct RunResult
     /** Clock edges the kernel fast-forwarded instead of processing
      *  (0 when SimConfig::fastForward is off). */
     std::uint64_t ffEdges = 0;
+    /** Sampled-mode reporting (sim/sampling.hh); all zero/false in
+     *  exact mode.  timePs/energies are then detailed measurements
+     *  plus the per-instruction extrapolation over skipped spans,
+     *  and the CI fields carry the 95% half-width of that estimate
+     *  (never below the SamplingConfig::ciBiasPct floor). */
+    bool sampled = false;
+    std::uint64_t sampleIntervals = 0;  ///< measured probes (K)
+    std::uint64_t skippedInstrs = 0;    ///< functionally skipped
+    Tick timeCiPs = 0;
+    double energyCiNj = 0.0;
     FreqSet avgFreq{};
     std::array<double, NUM_DOMAINS> domainEnergyNj{};
     /** Energy * delay product (nJ * ps), convenience. */

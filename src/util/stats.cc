@@ -1,7 +1,32 @@
 #include "util/stats.hh"
 
+#include <cmath>
+
 namespace mcd
 {
+
+MeanCi
+meanCi95(const std::vector<double> &samples)
+{
+    MeanCi r;
+    r.n = samples.size();
+    if (r.n == 0)
+        return r;
+    double sum = 0.0;
+    for (double v : samples)
+        sum += v;
+    r.mean = sum / static_cast<double>(r.n);
+    if (r.n < 2)
+        return r;
+    double ss = 0.0;
+    for (double v : samples) {
+        double d = v - r.mean;
+        ss += d * d;
+    }
+    double sd = std::sqrt(ss / static_cast<double>(r.n - 1));
+    r.ci95 = 1.96 * sd / std::sqrt(static_cast<double>(r.n));
+    return r;
+}
 
 void
 Summary::add(double v)

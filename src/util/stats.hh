@@ -8,9 +8,27 @@
 
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace mcd
 {
+
+/** Sample mean with a 95% confidence half-width. */
+struct MeanCi
+{
+    double mean = 0.0;
+    /** 1.96 * sd / sqrt(n) (normal approximation); 0 when n < 2. */
+    double ci95 = 0.0;
+    std::uint64_t n = 0;
+};
+
+/**
+ * Mean and 95% confidence half-width of @p samples (sample standard
+ * deviation, n-1 denominator; normal approximation).  Used by the
+ * sampled simulator to bound its per-interval extrapolation
+ * (docs/SAMPLING.md).
+ */
+MeanCi meanCi95(const std::vector<double> &samples);
 
 /**
  * Running min/max/mean accumulator.

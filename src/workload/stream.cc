@@ -25,11 +25,11 @@ hashName(const std::string &s)
 } // namespace
 
 Stream::Stream(const Program &program, const InputSet &in)
-    : prog(program), input(in),
+    : prog(&program), input(in),
       rng(in.seed * 0x9E3779B97F4A7C15ULL ^ hashName(program.name)),
       blockStates(program.blockLayouts.size())
 {
-    enterFunction(prog.function(prog.entry), ArgProfile{}, 0);
+    enterFunction(prog->function(prog->entry), ArgProfile{}, 0);
 }
 
 bool
@@ -42,6 +42,39 @@ Stream::next(StreamItem &out)
     out = queue.front();
     queue.pop_front();
     return true;
+}
+
+std::size_t
+Stream::nextBatch(StreamBatch &out, std::uint64_t max_instrs)
+{
+    out.n = 0;
+    out.markers.clear();
+    out.markerPos.clear();
+    std::size_t lim = static_cast<std::size_t>(
+        std::min<std::uint64_t>(StreamBatch::CAP, max_instrs));
+    while (out.n < lim) {
+        while (queue.empty() && !stack.empty())
+            step();
+        if (queue.empty())
+            break;
+        const StreamItem &it = queue.front();
+        if (it.kind == StreamItem::Kind::Marker) {
+            out.markers.push_back(it.marker);
+            out.markerPos.push_back(
+                static_cast<std::uint32_t>(out.n));
+            queue.pop_front();
+            continue;
+        }
+        const DynInstr &di = it.instr;
+        out.pc[out.n] = di.pc;
+        out.addr[out.n] = di.addr;
+        out.target[out.n] = di.target;
+        out.cls[out.n] = di.cls;
+        out.taken[out.n] = di.taken;
+        queue.pop_front();
+        ++out.n;
+    }
+    return out.n;
 }
 
 void
@@ -96,7 +129,7 @@ Stream::loopTrips(const LoopStmt &l) const
 std::uint64_t
 Stream::genAddress(const BlockStmt &blk)
 {
-    const InstructionMix &m = prog.mixes[blk.mix];
+    const InstructionMix &m = prog->mixes[blk.mix];
     const ArgProfile &prof = frames.back().prof;
     double ws_d = static_cast<double>(m.workingSetBytes) * prof.wsMul *
                   input.knob("ws_scale", 1.0);
@@ -119,8 +152,8 @@ void
 Stream::emitBlockInstr(Task &t)
 {
     const BlockStmt &blk = *t.blk;
-    const StaticInstr &si = prog.blockLayouts[blk.blockId][t.i];
-    const InstructionMix &m = prog.mixes[blk.mix];
+    const StaticInstr &si = prog->blockLayouts[blk.blockId][t.i];
+    const InstructionMix &m = prog->mixes[blk.mix];
 
     DynInstr di;
     di.pc = blk.basePc + 4ULL * t.i;
@@ -185,7 +218,7 @@ Stream::step()
                 : input.knob(s.call.guardKnob, s.call.guardProb);
             if (p < 1.0 && !rng.chance(p))
                 return;  // guarded call not taken this time
-            const Function &callee = prog.function(s.call.callee);
+            const Function &callee = prog->function(s.call.callee);
             pushMarker(MarkerKind::CallSite, frames.back().fn->id, 0,
                        s.call.siteId);
             DynInstr call_br;

@@ -12,7 +12,7 @@ namespace mcd::exp
 namespace
 {
 
-constexpr int CACHE_VERSION = 3;
+constexpr int CACHE_VERSION = 4;
 
 } // namespace
 
@@ -32,6 +32,11 @@ configFingerprint(const ExpConfig &cfg)
     f.i64(s.fetchWidth);
     f.f64(s.maxMhz);
     f.u64(s.jitterSeed);
+
+    const sim::SamplingConfig &sp = s.sampling;
+    f.u64(sp.intervalInstrs);
+    f.u64(sp.sampleInstrs);
+    f.f64(sp.ciBiasPct);
 
     const power::PowerConfig &p = cfg.power;
     for (double v : p.clockPj)

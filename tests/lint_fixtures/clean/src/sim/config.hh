@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "sim/sampling.hh"
+
 namespace mcd::sim
 {
 
@@ -18,6 +20,7 @@ struct SimConfig
     int fetchWidth = 4;
     double maxMhz = 1000.0;
     std::uint64_t jitterSeed = 7777;
+    SamplingConfig sampling;
 
     // mcd-lint: allow(fingerprint-complete): a tripped watchdog
     // aborts before any outcome exists.

@@ -1,0 +1,25 @@
+// Miniature SamplingConfig for mcd_lint's fixture tests: the same
+// shape as the real src/sim/sampling.hh (data members plus a method
+// declaration the field scanner must skip), small enough that golden
+// findings stay readable.
+
+#ifndef FIX_SIM_SAMPLING_HH
+#define FIX_SIM_SAMPLING_HH
+
+#include <cstdint>
+
+namespace mcd::sim
+{
+
+struct SamplingConfig
+{
+    std::uint64_t intervalInstrs = 10000;
+    std::uint64_t sampleInstrs = 600;
+    double ciBiasPct = 1.0;
+
+    std::uint64_t probeInstrs() const;
+};
+
+} // namespace mcd::sim
+
+#endif

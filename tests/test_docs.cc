@@ -18,6 +18,7 @@
 
 #include "chip/config.hh"
 #include "control/policy.hh"
+#include "sim/sampling.hh"
 #include "srv/proto.hh"
 #include "srv/server.hh"
 #include "workload/generate.hh"
@@ -211,4 +212,54 @@ TEST(Docs, WorkloadsDocGrammarSectionsExist)
         EXPECT_NE(doc.find(section), std::string::npos)
             << "docs/WORKLOADS.md lacks grammar docs for "
             << section;
+}
+
+TEST(Docs, SamplingDocTracksTheRealKnobsAndSchema)
+{
+    std::string doc = readDoc("docs/SAMPLING.md");
+    // Every knob row carries the struct's real default, so the doc
+    // cannot drift from src/sim/sampling.hh.
+    mcd::sim::SamplingConfig def;
+    auto row = [](const char *name, const std::string &value) {
+        return "| `" + std::string(name) + "` | " + value + " |";
+    };
+    for (const std::string &needle : {
+             row("intervalInstrs",
+                 std::to_string(def.intervalInstrs)),
+             row("sampleInstrs", std::to_string(def.sampleInstrs)),
+             row("warmupInstrs", std::to_string(def.warmupInstrs)),
+             row("ciBiasPct",
+                 mcd::control::fmtFixed(def.ciBiasPct, 3)),
+         })
+        EXPECT_NE(doc.find(needle), std::string::npos)
+            << "docs/SAMPLING.md knob row '" << needle
+            << "' missing or stale";
+    // The canonical default sampled spelling printed in the doc is
+    // the one canonicalSamplingSpec emits.
+    mcd::sim::SamplingConfig sampled = def;
+    sampled.mode = mcd::sim::SamplingMode::Sampled;
+    EXPECT_NE(doc.find(mcd::sim::canonicalSamplingSpec(sampled)),
+              std::string::npos)
+        << "docs/SAMPLING.md lacks the canonical default spec";
+    // The contract vocabulary the tests and CI gate rely on.
+    for (const char *token :
+         {"byte-identical", "`exact`", "ciBiasPct",
+          "tools/check_sampling.py", "`matches()`"})
+        EXPECT_NE(doc.find(token), std::string::npos)
+            << "docs/SAMPLING.md lacks '" << token << "'";
+}
+
+TEST(Docs, ArchitectureDocTracksTheCacheSchemaVersion)
+{
+    std::string doc = readDoc("docs/ARCHITECTURE.md");
+    // The CACHE_VERSION history table must have a row for the live
+    // schema (v8: sampling knobs fingerprinted, CI payload cells).
+    EXPECT_NE(doc.find("| v8 | PR 9 (sampled + checkpointed "
+                       "simulation) |"),
+              std::string::npos)
+        << "docs/ARCHITECTURE.md lacks the v8 history row";
+    for (const char *token :
+         {"thirteen", "timeCiPs", "SAMPLING.md"})
+        EXPECT_NE(doc.find(token), std::string::npos)
+            << "docs/ARCHITECTURE.md lacks '" << token << "'";
 }

@@ -183,7 +183,7 @@ TEST(ExpParallel, CacheHitShortCircuitsRecomputation)
     // runner must serve the sentinel (cache hit), not recompute.
     std::string key = lines[0].substr(0, lines[0].find(','));
     std::ofstream(path, std::ios::trunc)
-        << key << ",12345,1,0,0,0,0,0,0,0,0,0\n";
+        << key << ",12345,1,0,0,0,0,0,0,0,0,0,0,0\n";
     Runner reload(cfg);
     EXPECT_EQ(reload.loadedFromCache(), 1u);
     EXPECT_DOUBLE_EQ(reload.baseline("gsm_decode").timePs, 12345.0);
@@ -220,7 +220,7 @@ TEST(ExpParallel, MismatchedConfigFingerprintMissesCache)
     ASSERT_EQ(lines.size(), 1u);
     std::string key = lines[0].substr(0, lines[0].find(','));
     std::ofstream(path, std::ios::trunc)
-        << key << ",12345,1,0,0,0,0,0,0,0,0,0\n";
+        << key << ",12345,1,0,0,0,0,0,0,0,0,0,0,0\n";
     Runner rb(b);
     EXPECT_EQ(rb.loadedFromCache(), 1u);  // line loads under a's key
     Outcome ob = rb.baseline("gsm_decode");  // ...but b recomputes
@@ -250,8 +250,8 @@ TEST(ExpParallel, MalformedCacheLinesAreRejected)
         // contain commas since canonical specs do), landing under a
         // dead key that can never be requested — harmless.
         out << good << ",99\n";
-        out << "k,1,2,3,4,5,6,7,8,9,1.5x,11\n";  // bad numeric
-        out << ",1,2,3,4,5,6,7,8,9,10,11\n";     // empty key
+        out << "k,1,2,3,4,5,6,7,8,9,10,1.5x,12,13\n";  // bad numeric
+        out << ",1,2,3,4,5,6,7,8,9,10,11,12,13\n";      // empty key
         out << '\n';                       // blank line: ignored
         out << good;                       // no trailing newline: ok
     }
@@ -394,11 +394,11 @@ TEST(ExpParallel, ConcurrentReadersRaceWriterOverCorruptCache)
     foreignFp[fpDigit] = foreignFp[fpDigit] == '0' ? '1' : '0';
     {
         std::ofstream out(path, std::ios::trunc);
-        out << key << ",777,1,0,0,0,0,0,0,0,0,0\n";
+        out << key << ",777,1,0,0,0,0,0,0,0,0,0,0,0\n";
         out << foreignVersion << '\n';
         out << foreignFp << '\n';
         out << good.substr(0, good.size() / 2) << '\n';
-        out << key << ",1,2,3,4,nope,6,7,8,9,10,11\n";
+        out << key << ",1,2,3,4,nope,6,7,8,9,10,11,12,13\n";
     }
 
     std::vector<SweepCell> base = {

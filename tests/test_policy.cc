@@ -260,9 +260,9 @@ TEST(PolicyCacheKey, CanonicalSpecIsTheKeyFragment)
     Runner runner(smallConfig());
     std::string key = runner.cacheKey(
         "gsm_decode", PolicySpec::of("offline").set("d", 10.0));
-    // v7|c<16-hex fingerprint>|<canonical policy spec>|<canonical
+    // v8|c<16-hex fingerprint>|<canonical policy spec>|<canonical
     // workload spec>|<context>
-    ASSERT_EQ(key.rfind("v7|c", 0), 0u) << key;
+    ASSERT_EQ(key.rfind("v8|c", 0), 0u) << key;
     EXPECT_EQ(key.substr(4 + 16),
               "|offline:d=10.000|gsm_decode|w8000|i4000");
 }

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""CI gates for sampled simulation (docs/SAMPLING.md).
+
+Two subcommands:
+
+  compare --exact FILE --sampled FILE [--max-rel-err PCT]
+      FILE are result-cache CSVs (bench --cache) from one sweep run
+      twice: once with --sample exact and once sampled.  The sweep
+      must include the `baseline` policy.  Cells are matched by
+      their cache key minus the version/fingerprint prefix (the
+      sampling knobs are fingerprinted, so the prefixes never match
+      across modes), then turned into figure points: per policy and
+      benchmark, the policy-over-baseline time and energy ratios —
+      exactly the quantities fig04/fig07 plot.  Both runs share
+      probe placement, so the phase-sampling error common to the
+      numerator and denominator cancels out of the point (see
+      docs/SAMPLING.md).  Every figure point must satisfy both
+      gates: the sampled ratio within --max-rel-err percent of the
+      exact ratio, and the exact ratio inside the sampled point's
+      95% confidence interval (propagated from the two cells' CIs;
+      conservative, since it ignores their positive correlation).
+
+  speedup --json FILE [--min RATIO]
+      FILE is bench_throughput's --json output (BENCH_sim.json).
+      The exact cycle-simulation benchmark must be at least RATIO
+      times slower per iteration than the checkpointed sampled one.
+
+Exit 0 when every gate holds, 1 otherwise, 2 on usage/input errors.
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+# Payload cells per cache line, in exp::outcomeToLine order.
+NUM_LINE_FIELDS = 13
+F_TIME_PS = 0
+F_ENERGY_NJ = 1
+F_TIME_CI_PS = 11
+F_ENERGY_CI_NJ = 12
+
+
+def read_cache(path):
+    """cell id (key minus 'v<N>|c<hex>|') -> payload float list."""
+    cells = {}
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        parts = line.split(",")
+        if len(parts) <= NUM_LINE_FIELDS:
+            continue
+        try:
+            payload = [float(v) for v in parts[-NUM_LINE_FIELDS:]]
+        except ValueError:
+            continue
+        key = ",".join(parts[:-NUM_LINE_FIELDS])
+        fields = key.split("|")
+        if len(fields) < 3:
+            continue
+        cells["|".join(fields[2:])] = payload
+    return cells
+
+
+def check_point(cell, exact_p, exact_b, sampled_p, sampled_b,
+                max_rel_err, failures):
+    """Gate one figure point: the policy cell's time and energy
+    ratios over its benchmark's baseline cell."""
+    for label, vi, ci in (("time", F_TIME_PS, F_TIME_CI_PS),
+                          ("energy", F_ENERGY_NJ, F_ENERGY_CI_NJ)):
+        pe, pb = exact_p[vi], exact_b[vi]
+        ps, bs = sampled_p[vi], sampled_b[vi]
+        if pe == 0.0 or pb == 0.0 or ps == 0.0 or bs == 0.0:
+            continue
+        rho_e = pe / pb
+        rho_s = ps / bs
+        err = abs(rho_s - rho_e) / abs(rho_e)
+        if err > max_rel_err / 100.0:
+            failures.append(
+                "%s: %s ratio error %.3f%% exceeds %.3f%% "
+                "(exact %.6f, sampled %.6f)"
+                % (cell, label, err * 100.0, max_rel_err,
+                   rho_e, rho_s))
+        half = abs(rho_s) * math.sqrt(
+            (sampled_p[ci] / ps) ** 2 + (sampled_b[ci] / bs) ** 2)
+        if abs(rho_s - rho_e) > half:
+            failures.append(
+                "%s: exact %s ratio %.6f outside the sampled 95%% "
+                "CI %.6f +/- %.6f"
+                % (cell, label, rho_e, rho_s, half))
+
+
+def cmd_compare(args):
+    exact = read_cache(args.exact)
+    sampled = read_cache(args.sampled)
+    matched = sorted(set(exact) & set(sampled))
+    if not matched:
+        print("check_sampling: no cells matched between %s and %s"
+              % (args.exact, args.sampled), file=sys.stderr)
+        return 2
+    # benchmark -> its baseline cell, per side.
+    base = {}
+    for cell in matched:
+        fields = cell.split("|")
+        if len(fields) >= 2 and fields[0] == "baseline":
+            base[fields[1]] = (exact[cell], sampled[cell])
+    failures = []
+    points = 0
+    for cell in matched:
+        fields = cell.split("|")
+        if len(fields) < 2 or fields[0] == "baseline":
+            continue
+        if fields[1] not in base:
+            print("check_sampling: no baseline cell for %s" % cell,
+                  file=sys.stderr)
+            return 2
+        exact_b, sampled_b = base[fields[1]]
+        points += 1
+        check_point(cell, exact[cell], exact_b, sampled[cell],
+                    sampled_b, args.max_rel_err, failures)
+    if points == 0:
+        print("check_sampling: no figure points (sweep must "
+              "include baseline plus at least one policy)",
+              file=sys.stderr)
+        return 2
+    for f in failures:
+        print("FAIL %s" % f)
+    print("check_sampling: %d figure point(s) compared, "
+          "%d failure(s)" % (points, len(failures)))
+    return 1 if failures else 0
+
+
+def cmd_speedup(args):
+    doc = json.loads(Path(args.json).read_text(encoding="utf-8"))
+    rows = {r["name"]: r for r in doc.get("benchmarks", [])}
+    if args.exact not in rows or args.sampled not in rows:
+        print("check_sampling: %s must contain %s and %s"
+              % (args.json, args.exact, args.sampled),
+              file=sys.stderr)
+        return 2
+    if rows[args.sampled].get("mode") != "sampled":
+        print("check_sampling: %s row is not sampled mode"
+              % args.sampled, file=sys.stderr)
+        return 2
+    slow = rows[args.exact]["wall_ms"]
+    fast = rows[args.sampled]["wall_ms"]
+    if fast <= 0.0:
+        print("check_sampling: non-positive wall_ms for %s"
+              % args.sampled, file=sys.stderr)
+        return 2
+    ratio = slow / fast
+    print("check_sampling: %s %.3f ms / %s %.3f ms = %.2fx "
+          "(gate %.2fx)"
+          % (args.exact, slow, args.sampled, fast, ratio, args.min))
+    if ratio < args.min:
+        print("FAIL per-cell speedup %.2fx below the %.2fx gate"
+              % (ratio, args.min))
+        return 1
+    return 0
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    cmp_p = sub.add_parser("compare")
+    cmp_p.add_argument("--exact", required=True)
+    cmp_p.add_argument("--sampled", required=True)
+    cmp_p.add_argument("--max-rel-err", type=float, default=2.0,
+                       help="max |sampled-exact|/exact, percent")
+    cmp_p.set_defaults(fn=cmd_compare)
+    spd_p = sub.add_parser("speedup")
+    spd_p.add_argument("--json", required=True)
+    spd_p.add_argument("--min", type=float, default=5.0)
+    spd_p.add_argument("--exact", default="BM_CycleSimulation")
+    spd_p.add_argument("--sampled",
+                       default="BM_CycleSimulationCheckpointed")
+    spd_p.set_defaults(fn=cmd_speedup)
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,7 @@ LINT_DOC_TEST = "tests/test_docs.cc"
 # struct name -> (header, variable prefix inside configFingerprint)
 FINGERPRINT_STRUCTS = {
     "SimConfig": ("src/sim/config.hh", "s"),
+    "SamplingConfig": ("src/sim/sampling.hh", "sp"),
     "PowerConfig": ("src/power/power.hh", "p"),
     "ExpConfig": ("src/exp/experiment.hh", "cfg"),
     "ChipConfig": ("src/chip/config.hh", "ch"),
@@ -292,11 +293,11 @@ def fingerprint_body(src):
 
 def fingerprint_digest(body):
     """Digest of the ordered hash calls: the f.<kind>() sequence and
-    every s./p./cfg. member token, in source order.  Any field joining,
-    leaving or reordering — or an int/float encoding change — changes
-    the digest; whitespace and comments do not."""
+    every s./sp./p./cfg./ch. member token, in source order.  Any field
+    joining, leaving or reordering — or an int/float encoding change —
+    changes the digest; whitespace and comments do not."""
     tokens = re.findall(
-        r"f\.(?:u64|i64|f64)|\b(?:s|p|cfg|ch)\.[A-Za-z_]\w*", body)
+        r"f\.(?:u64|i64|f64)|\b(?:sp|s|p|cfg|ch)\.[A-Za-z_]\w*", body)
     blob = "\n".join(tokens).encode()
     return hashlib.sha256(blob).hexdigest()
 
@@ -314,7 +315,7 @@ def check_fingerprint(root, findings):
                      "configFingerprint() definition not found")
         return
     hashed = set(
-        re.findall(r"\b((?:s|p|cfg|ch)\.[A-Za-z_]\w*)\b", body))
+        re.findall(r"\b((?:sp|s|p|cfg|ch)\.[A-Za-z_]\w*)\b", body))
 
     for struct, (header, prefix) in FINGERPRINT_STRUCTS.items():
         src = load(root, header)

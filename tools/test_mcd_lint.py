@@ -40,8 +40,15 @@ CASES = {
     # A version bump whose pin update was forgotten.
     "stale-version-pin": [
         ("src/exp/experiment.cc",
-         "constexpr int CACHE_VERSION = 3;",
-         "constexpr int CACHE_VERSION = 4;"),
+         "constexpr int CACHE_VERSION = 4;",
+         "constexpr int CACHE_VERSION = 5;"),
+    ],
+    # PR 9's bug class, sampling flavor: a sampling knob shapes
+    # sampled outcomes but leaves the fingerprint, so cached exact
+    # and sampled rows could trade places.
+    "sampling-knob-unfingerprinted": [
+        ("src/exp/experiment.cc",
+         "    f.f64(sp.ciBiasPct);\n", ""),
     ],
     # PR 3's bug class: the registrar macro disappears.
     "missing-register-macro": [
