@@ -65,6 +65,14 @@ class ChipCoordPolicy final : public control::Policy
         return false;
     }
 
+    bool
+    sweepable() const override
+    {
+        // run() panics by design; all-policy sweeps (the tournament)
+        // must not pick it up.
+        return false;
+    }
+
     control::Outcome
     run(const std::string &bench, const control::PolicySpec &spec,
         const control::PolicyContext &) const override

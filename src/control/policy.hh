@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "control/learned.hh"
 #include "core/calltree.hh"
 #include "power/power.hh"
 #include "sim/config.hh"
@@ -199,6 +200,9 @@ struct PolicyContext
     std::uint64_t profileMaxInstrs = 4'000'000;
     /** Off-line oracle reconfiguration interval (instructions). */
     std::uint64_t offlineInterval = 10'000;
+    /** Training regime for the `learned` policy (fingerprinted on
+     *  the harness side under prefix `ln`). */
+    LearnedConfig learned;
     /** Memoized evaluation of another (bench, spec) cell. */
     std::function<Outcome(const std::string &bench,
                           const PolicySpec &spec)>
@@ -248,6 +252,15 @@ class Policy
      * itself).
      */
     virtual bool relativeToBaseline() const { return true; }
+
+    /**
+     * Whether the policy participates in all-policy sweeps
+     * (`exp::Tournament`'s default roster).  Policies whose `run()`
+     * does not model the paper's single-core production run — e.g.
+     * the many-core chip coordinator — opt out; they stay fully
+     * selectable by explicit spec.
+     */
+    virtual bool sweepable() const { return true; }
 
     /**
      * The harness-configuration fragment of this policy's cache key:

@@ -46,9 +46,13 @@ namespace
  *  sim::SamplingConfig knobs joined the fingerprint and the line
  *  payload grew the two CI fields (timeCiPs, energyCiNj) — sampled
  *  and exact cells must never exchange outcomes, and sampled lines
- *  must round-trip their confidence intervals.  (History table:
- *  docs/ARCHITECTURE.md, layer 7.) */
-constexpr int CACHE_VERSION = 8;
+ *  must round-trip their confidence intervals.  v9: the
+ *  control::LearnedConfig training knobs joined the fingerprint
+ *  (learned outcomes are a function of the frozen weights, which
+ *  are a function of the training regime; learned cells trained
+ *  under different windows/passes must never share cache lines).
+ *  (History table: docs/ARCHITECTURE.md, layer 7.) */
+constexpr int CACHE_VERSION = 9;
 
 /** Numeric payload fields per cache line (after the key). */
 constexpr std::size_t NUM_LINE_FIELDS = 13;
@@ -236,6 +240,10 @@ configFingerprint(const ExpConfig &cfg)
     f.u64(ch.coordIntervalPs);
     f.f64(ch.uncoreClockPj);
     f.f64(ch.uncoreLeakW);
+
+    const control::LearnedConfig &ln = cfg.learned;
+    f.u64(ln.trainWindow);
+    f.u64(ln.trainPasses);
     return f.h;
 }
 
@@ -382,6 +390,7 @@ Runner::Runner(const ExpConfig &c)
     ctx.analysisWindow = cfg.analysisWindow;
     ctx.profileMaxInstrs = cfg.profileMaxInstrs;
     ctx.offlineInterval = cfg.offlineInterval;
+    ctx.learned = cfg.learned;
     // Cross-policy dependencies (global -> offline, metrics ->
     // baseline) resolve through the runner's memo, so shared
     // sub-runs are computed once no matter which thread or policy

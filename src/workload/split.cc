@@ -1,0 +1,50 @@
+#include "workload/split.hh"
+
+namespace mcd::workload
+{
+
+const std::vector<std::string> &
+trainingSplit()
+{
+    // A deliberate cross-section of the suite, not the whole of it:
+    // two control-dense codecs, one encoder with a different phase
+    // structure, and the memory-bound SPEC staple.  Keeping the
+    // split small keeps tournament rows cheap and leaves the rest
+    // of the suite untouched by any tuning loop.
+    static const std::vector<std::string> names = {
+        "gsm_decode",
+        "adpcm_decode",
+        "gsm_encode",
+        "mcf",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+holdoutSplit()
+{
+    // Canonical gen: specs (parameter-complete, fixed seeds) so the
+    // holdout set is the same program everywhere.  Chosen to spread
+    // the generator's space: memory-heavy, fp-heavy and
+    // phase-imbalanced points no suite benchmark occupies.
+    static const std::vector<std::string> names = {
+        "gen:phases=2,mem=0.400,fp=0.300,depth=2,diverge=0.200,"
+        "imbalance=0.500,refscale=1.400,seed=7",
+        "gen:phases=3,mem=0.550,fp=0.100,depth=3,diverge=0.350,"
+        "imbalance=0.650,refscale=1.200,seed=21",
+        "gen:phases=4,mem=0.150,fp=0.600,depth=2,diverge=0.100,"
+        "imbalance=0.300,refscale=1.000,seed=33",
+    };
+    return names;
+}
+
+std::vector<std::string>
+tournamentWorkloads()
+{
+    std::vector<std::string> all = trainingSplit();
+    const std::vector<std::string> &held = holdoutSplit();
+    all.insert(all.end(), held.begin(), held.end());
+    return all;
+}
+
+} // namespace mcd::workload

@@ -1,0 +1,21 @@
+// Miniature LearnedConfig for mcd_lint's fixture tests: both
+// training knobs shape the learned policy's frozen weights, so both
+// must be hashed in configFingerprint (prefix `ln`).
+
+#ifndef FIX_CONTROL_LEARNED_HH
+#define FIX_CONTROL_LEARNED_HH
+
+#include <cstdint>
+
+namespace mcd::control
+{
+
+struct LearnedConfig
+{
+    std::uint64_t trainWindow = 40;
+    std::uint64_t trainPasses = 2;
+};
+
+} // namespace mcd::control
+
+#endif

@@ -12,7 +12,7 @@ namespace mcd::exp
 namespace
 {
 
-constexpr int CACHE_VERSION = 4;
+constexpr int CACHE_VERSION = 5;
 
 } // namespace
 
@@ -49,6 +49,10 @@ configFingerprint(const ExpConfig &cfg)
     f.i64(ch.l2PortCycles);
     f.f64(ch.uncoreMaxMhz);
     f.u64(ch.coordIntervalPs);
+
+    const control::LearnedConfig &ln = cfg.learned;
+    f.u64(ln.trainWindow);
+    f.u64(ln.trainPasses);
     return f.h ^ static_cast<std::uint64_t>(CACHE_VERSION);
 }
 

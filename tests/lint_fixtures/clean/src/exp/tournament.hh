@@ -1,0 +1,33 @@
+// Miniature TournamentConfig for mcd_lint's fixture tests: every
+// field only selects which {policy, workload} cells run — each
+// cell's outcome keys on its own canonical specs — so every field
+// carries an allow annotation instead of a hash call.
+
+#ifndef FIX_EXP_TOURNAMENT_HH
+#define FIX_EXP_TOURNAMENT_HH
+
+#include <string>
+#include <vector>
+
+namespace mcd::exp
+{
+
+struct TournamentConfig
+{
+    // mcd-lint: allow(fingerprint-complete): names which canonical
+    // spec key regret is measured against; never shapes a cached
+    // value.
+    std::string oracle = "offline:d=10";
+
+    // mcd-lint: allow(fingerprint-complete): cell selection only —
+    // each selected cell keys on its canonical policy spec.
+    std::vector<std::string> policies;
+
+    // mcd-lint: allow(fingerprint-complete): cell selection only —
+    // each selected cell keys on its canonical workload spec.
+    std::vector<std::string> workloads;
+};
+
+} // namespace mcd::exp
+
+#endif

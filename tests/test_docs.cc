@@ -253,13 +253,19 @@ TEST(Docs, ArchitectureDocTracksTheCacheSchemaVersion)
 {
     std::string doc = readDoc("docs/ARCHITECTURE.md");
     // The CACHE_VERSION history table must have a row for the live
-    // schema (v8: sampling knobs fingerprinted, CI payload cells).
+    // schema (v9: learned training knobs fingerprinted) and keep the
+    // prior rows intact.
+    EXPECT_NE(doc.find("| v9 | PR 10 (learned policy + "
+                       "tournament) |"),
+              std::string::npos)
+        << "docs/ARCHITECTURE.md lacks the v9 history row";
     EXPECT_NE(doc.find("| v8 | PR 9 (sampled + checkpointed "
                        "simulation) |"),
               std::string::npos)
         << "docs/ARCHITECTURE.md lacks the v8 history row";
     for (const char *token :
-         {"thirteen", "timeCiPs", "SAMPLING.md"})
+         {"thirteen", "timeCiPs", "SAMPLING.md",
+          "control::LearnedConfig"})
         EXPECT_NE(doc.find(token), std::string::npos)
             << "docs/ARCHITECTURE.md lacks '" << token << "'";
 }

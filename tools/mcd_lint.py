@@ -64,6 +64,8 @@ FINGERPRINT_STRUCTS = {
     "PowerConfig": ("src/power/power.hh", "p"),
     "ExpConfig": ("src/exp/experiment.hh", "cfg"),
     "ChipConfig": ("src/chip/config.hh", "ch"),
+    "LearnedConfig": ("src/control/learned.hh", "ln"),
+    "TournamentConfig": ("src/exp/tournament.hh", "tn"),
 }
 
 # directories whose .cc/.hh files the determinism rule scans
@@ -297,7 +299,8 @@ def fingerprint_digest(body):
     joining, leaving or reordering — or an int/float encoding change —
     changes the digest; whitespace and comments do not."""
     tokens = re.findall(
-        r"f\.(?:u64|i64|f64)|\b(?:sp|s|p|cfg|ch)\.[A-Za-z_]\w*", body)
+        r"f\.(?:u64|i64|f64)|\b(?:sp|s|p|cfg|ch|ln|tn)\.[A-Za-z_]\w*",
+        body)
     blob = "\n".join(tokens).encode()
     return hashlib.sha256(blob).hexdigest()
 
@@ -315,7 +318,8 @@ def check_fingerprint(root, findings):
                      "configFingerprint() definition not found")
         return
     hashed = set(
-        re.findall(r"\b((?:sp|s|p|cfg|ch)\.[A-Za-z_]\w*)\b", body))
+        re.findall(r"\b((?:sp|s|p|cfg|ch|ln|tn)\.[A-Za-z_]\w*)\b",
+                   body))
 
     for struct, (header, prefix) in FINGERPRINT_STRUCTS.items():
         src = load(root, header)

@@ -40,8 +40,8 @@ CASES = {
     # A version bump whose pin update was forgotten.
     "stale-version-pin": [
         ("src/exp/experiment.cc",
-         "constexpr int CACHE_VERSION = 4;",
-         "constexpr int CACHE_VERSION = 5;"),
+         "constexpr int CACHE_VERSION = 5;",
+         "constexpr int CACHE_VERSION = 6;"),
     ],
     # PR 9's bug class, sampling flavor: a sampling knob shapes
     # sampled outcomes but leaves the fingerprint, so cached exact
@@ -66,6 +66,13 @@ CASES = {
     "chip-knob-unfingerprinted": [
         ("src/exp/experiment.cc",
          "    f.f64(ch.uncoreMaxMhz);\n", ""),
+    ],
+    # PR 10's bug class, learned flavor: a training knob shapes the
+    # learned policy's frozen weights (and so every cached learned
+    # outcome) but silently leaves the fingerprint.
+    "learned-knob-unfingerprinted": [
+        ("src/exp/experiment.cc",
+         "    f.u64(ln.trainWindow);\n", ""),
     ],
     # ...and the chip coordinator falls out of its OBJECT library.
     "chip-missing-cmake-entry": [
